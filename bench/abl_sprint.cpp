@@ -1,0 +1,127 @@
+// Ablation F — pCLOUDS vs pSPRINT.
+//
+// CLOUDS' claim (which motivates the paper): accuracy and tree compactness
+// comparable to SPRINT at substantially lower I/O and computational cost.
+// Both classifiers run here on the same data, same machine model, same
+// processor counts; pSPRINT pays for its 9 per-attribute (value, rid,
+// class) lists — re-read and re-written at every level — the one-time
+// parallel sort, and the per-split rid exchange, while pCLOUDS streams the
+// 28-byte records once or twice per node.
+
+#include <cstdio>
+#include <mutex>
+
+#include "harness.hpp"
+#include "sprint/sprint.hpp"
+
+namespace {
+
+struct SprintResult {
+  double modeled = 0.0;
+  double io_s = 0.0;
+  double comm_s = 0.0;
+  std::uint64_t bytes = 0;
+  double accuracy = 0.0;
+  std::size_t nodes = 0;
+  std::uint64_t rids = 0;
+  std::uint64_t max_set = 0;
+};
+
+SprintResult run_sprint(int p, std::uint64_t n,
+                        pdc::sprint::RidExchange exchange =
+                            pdc::sprint::RidExchange::kReplicated) {
+  using namespace pdc;
+  io::ScratchArena arena("bench_sprint", p);
+  mp::Runtime rt(p, pdc::bench::scaled_machine());
+  data::AgrawalGenerator gen({.function = 2, .seed = 404});
+  data::DatasetPartition part(n, p);
+  const auto test = data::make_test_set(gen, n, 2000);
+
+  SprintResult out;
+  std::mutex mu;
+  const auto report = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  8192);
+    const auto pre = disk.stats();
+    comm.clock().reset();
+    sprint::SprintConfig cfg;
+    cfg.memory_bytes = io::MemoryBudget::paper_scaled(n).bytes();
+    cfg.rid_exchange = exchange;
+    sprint::SprintBuilder builder(cfg, {&comm.clock(), comm.cost().machine()});
+    sprint::SprintDiag diag;
+    auto tree = builder.train(comm, disk, "train.dat", &diag);
+    std::lock_guard lock(mu);
+    out.bytes += disk.stats().total_bytes() - pre.total_bytes();
+    out.rids += diag.rids_exchanged;
+    out.max_set = std::max<std::uint64_t>(out.max_set, diag.max_rid_set);
+    if (comm.rank() == 0) {
+      out.accuracy = tree.accuracy(test);
+      out.nodes = tree.live_count();
+    }
+  });
+  out.modeled = report.parallel_time();
+  out.io_s = report.max_io();
+  out.comm_s = report.max_comm();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pdc::bench;
+
+  const std::uint64_t n = scaled(60'000);
+  std::printf("Ablation F: pCLOUDS vs pSPRINT (%llu records)\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%4s %10s | %10s %10s %12s %9s %6s | %10s %10s %12s %9s %6s\n",
+              "p", "", "modeled(s)", "io(s)", "bytes r+w", "accuracy",
+              "nodes", "modeled(s)", "io(s)", "bytes r+w", "accuracy",
+              "nodes");
+  std::printf("%15s | %52s | %52s\n", "", "pCLOUDS (SSE, mixed)",
+              "pSPRINT (presorted lists)");
+
+  for (const int p : {2, 4, 8, 16}) {
+    ExpParams params;
+    params.p = p;
+    params.records = n;
+    params.test_records = 2000;
+    params.cfg = paper_config(n);
+    const auto clouds = run_experiment(params);
+    const auto sprint = run_sprint(p, n);
+    std::printf(
+        "%4d %10s | %10.2f %10.2f %12llu %9.4f %6zu | %10.2f %10.2f %12llu "
+        "%9.4f %6zu\n",
+        p, "", clouds.parallel_time, clouds.max_io,
+        static_cast<unsigned long long>(clouds.bytes_read +
+                                        clouds.bytes_written),
+        clouds.accuracy, clouds.tree_nodes, sprint.modeled, sprint.io_s,
+        static_cast<unsigned long long>(sprint.bytes), sprint.accuracy,
+        sprint.nodes);
+  }
+  std::printf("\nexpected: comparable accuracy and tree size; pSPRINT "
+              "moves several times more bytes and runs slower\n");
+
+  std::printf("\nSPRINT rid exchange: replicated (SPRINT) vs distributed "
+              "hash (ScalParC)\n");
+  std::printf("%4s %14s %14s %14s %14s\n", "p", "repl max set",
+              "hash max set", "repl rids", "hash rids");
+  for (const int p : {4, 16}) {
+    const auto repl =
+        run_sprint(p, n, pdc::sprint::RidExchange::kReplicated);
+    const auto hash =
+        run_sprint(p, n, pdc::sprint::RidExchange::kDistributedHash);
+    (void)repl;
+    (void)hash;
+    // diag fields are carried through `rids`; rerun cheaply for max sets.
+    std::printf("%4d %14llu %14llu %14llu %14llu\n", p,
+                static_cast<unsigned long long>(repl.max_set),
+                static_cast<unsigned long long>(hash.max_set),
+                static_cast<unsigned long long>(repl.rids),
+                static_cast<unsigned long long>(hash.rids));
+  }
+  std::printf("(ScalParC's point: the per-rank membership structure "
+              "shrinks ~p-fold)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation B — SS vs SSE vs direct (the CLOUDS design space the paper
+// builds on), and the survival ratio as a function of the interval budget.
+//
+// SS makes one pass per node but can only split at sample-quantile
+// boundaries; SSE adds a second pass restricted to alive intervals and —
+// with this library's concavity-based lower bound — provably finds the same
+// split as the exhaustive direct method.  The survival ratio (alive points
+// / node size) governs the second pass's extra I/O and shrinks as q grows.
+
+#include <cstdio>
+
+#include "clouds/builder.hpp"
+#include "clouds/metrics.hpp"
+#include "data/agrawal.hpp"
+
+int main() {
+  using namespace pdc;
+
+  const std::uint64_t n = 20'000;
+  data::AgrawalGenerator gen({.function = 2, .seed = 7});
+  const auto train = gen.make_range(0, n);
+  const auto test = gen.make_range(n, n + n / 4);
+
+  std::printf("Ablation B1: method comparison (%llu records, q_root=200)\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%8s %10s %8s %8s %14s\n", "method", "accuracy", "nodes",
+              "scans", "2nd-pass pts");
+  struct Row {
+    const char* name;
+    clouds::SplitMethod method;
+  };
+  for (const auto& row : {Row{"SS", clouds::SplitMethod::kSS},
+                          Row{"SSE", clouds::SplitMethod::kSSE},
+                          Row{"direct", clouds::SplitMethod::kDirect}}) {
+    clouds::CloudsConfig cfg;
+    cfg.method = row.method;
+    cfg.q_root = 200;
+    clouds::CloudsBuilder builder(cfg);
+    const auto tree = builder.build(train);
+    std::printf("%8s %10.4f %8zu %8.1f %14llu\n", row.name,
+                tree.accuracy(test), tree.live_count(),
+                static_cast<double>(builder.stats().records_scanned) /
+                    static_cast<double>(n),
+                static_cast<unsigned long long>(
+                    builder.stats().second_pass_points));
+  }
+
+  std::printf("\nAblation B2: SSE survival ratio vs interval budget\n");
+  std::printf("(root survival: fraction of the root's points needing the "
+              "exact pass, summed over the 6 numeric attributes;\n"
+              " mean survival averages over ALL nodes and is dominated by "
+              "deep, coarse-q nodes where everything is alive)\n");
+  std::printf("%8s %14s %16s %14s %10s\n", "q_root", "root survival",
+              "mean survival", "2nd-pass pts", "accuracy");
+  for (const int q : {10, 25, 50, 100, 200, 500, 1000}) {
+    clouds::CloudsConfig cfg;
+    cfg.method = clouds::SplitMethod::kSSE;
+    cfg.q_root = q;
+    clouds::CloudsBuilder builder(cfg);
+    const auto tree = builder.build(train);
+    std::printf("%8d %14.4f %16.4f %14llu %10.4f\n", q,
+                builder.stats().root_survival,
+                builder.stats().mean_survival(),
+                static_cast<unsigned long long>(
+                    builder.stats().second_pass_points),
+                tree.accuracy(test));
+  }
+  std::printf("\nexpected: survival (and the second pass) shrinks as q "
+              "grows; SSE accuracy == direct accuracy\n");
+  return 0;
+}

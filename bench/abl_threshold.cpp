@@ -1,0 +1,46 @@
+// Ablation E — the mixed-parallelism switching point.
+//
+// The paper leaves the data->task switching criterion open ("we have not
+// presented any concrete criteria...; this analytical characterization is
+// currently under investigation") and uses 10 intervals in its experiments.
+// This sweep walks the small-node threshold from 0 (pure data parallelism:
+// message startups dominate the deep, small nodes) to the whole dataset
+// (pure task parallelism: everything serializes on one rank), exposing the
+// interior optimum that motivates the mixed approach.
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace pdc::bench;
+
+  const std::uint64_t n = scaled(60'000);
+  const int p = 8;
+
+  std::printf("Ablation E: small-node threshold sweep (p=%d, %llu records)\n",
+              p, static_cast<unsigned long long>(n));
+  std::printf("%14s %10s %10s %10s %12s %12s\n", "threshold", "modeled(s)",
+              "comm(s)", "io(s)", "small tasks", "redistrib");
+
+  const std::uint64_t paper = paper_config(n).derived_small_threshold(n);
+  const std::uint64_t thresholds[] = {0,         paper / 4, paper,
+                                      paper * 4, paper * 16, n};
+  for (const auto t : thresholds) {
+    ExpParams params;
+    params.p = p;
+    params.records = n;
+    params.cfg = paper_config(n);
+    params.cfg.small_threshold_records = t == 0 ? 0 : t;
+    if (t == 0) params.cfg.interval_threshold = 0;  // pure data parallelism
+    const auto r = run_experiment(params);
+    std::printf("%14llu %10.2f %10.3f %10.2f %12zu %12llu\n",
+                static_cast<unsigned long long>(t), r.parallel_time,
+                r.max_comm, r.max_io, r.diag.dc.small_tasks,
+                static_cast<unsigned long long>(r.records_redistributed));
+  }
+  std::printf("\n(threshold %llu is the paper's 10-interval rule at this "
+              "scale; threshold=n is pure task parallelism)\n",
+              static_cast<unsigned long long>(paper));
+  return 0;
+}

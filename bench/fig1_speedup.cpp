@@ -1,0 +1,44 @@
+// Figure 1 — speedup characteristics.
+//
+// The paper measures pCLOUDS speedup on 1..16 SP2 nodes for training sets
+// of 3.6, 4.8, 6.0 and 7.2 million records (q_root = 10,000, memory limit
+// 1 MB per 6M tuples, interval threshold 10).  At bench scale (1/60):
+// 60k-120k records, q_root = 200.  Expected shape (paper): speedup
+// improves with data size and stays near-linear for the largest set.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace pdc::bench;
+
+  // 3.6M, 4.8M, 6.0M, 7.2M scaled by 1/60.
+  const std::uint64_t sizes[] = {scaled(60'000), scaled(80'000),
+                                 scaled(100'000), scaled(120'000)};
+  const int procs[] = {1, 2, 4, 8, 16};
+
+  std::printf("Figure 1: speedup vs processors (modeled SP2 seconds)\n");
+  std::printf("%10s |", "records");
+  for (int p : procs) std::printf("     p=%-2d    |", p);
+  std::printf("\n");
+
+  for (const auto n : sizes) {
+    std::vector<double> times;
+    for (const int p : procs) {
+      ExpParams params;
+      params.p = p;
+      params.records = n;
+      params.cfg = paper_config(n);
+      times.push_back(run_experiment(params).parallel_time);
+    }
+    std::printf("%10llu |", static_cast<unsigned long long>(n));
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      std::printf(" %5.1fs %4.2fx |", times[i], times[0] / times[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(each cell: modeled runtime, speedup vs p=1)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 2 — sizeup characteristics.
+//
+// The paper plots speedup against the number of records for 4, 8 and 16
+// processors.  Expected shape: the gain is marginal at p = 4 and p = 8
+// (speedup is already near its maximum for the smallest set), while at
+// p = 16 speedup clearly increases with data size, because computation
+// grows with the data but the count-matrix/split-point communication does
+// not.
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace pdc::bench;
+
+  const std::uint64_t sizes[] = {scaled(60'000), scaled(80'000),
+                                 scaled(100'000), scaled(120'000)};
+  const int procs[] = {4, 8, 16};
+
+  // Sequential baselines per size.
+  std::map<std::uint64_t, double> t1;
+  for (const auto n : sizes) {
+    ExpParams params;
+    params.p = 1;
+    params.records = n;
+    params.cfg = paper_config(n);
+    t1[n] = run_experiment(params).parallel_time;
+  }
+
+  std::printf("Figure 2: speedup vs records (modeled)\n");
+  std::printf("%10s |", "records");
+  for (int p : procs) std::printf("   p=%-2d |", p);
+  std::printf("\n");
+  for (const auto n : sizes) {
+    std::printf("%10llu |", static_cast<unsigned long long>(n));
+    for (const int p : procs) {
+      ExpParams params;
+      params.p = p;
+      params.records = n;
+      params.cfg = paper_config(n);
+      const auto r = run_experiment(params);
+      std::printf(" %5.2fx |", t1[n] / r.parallel_time);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

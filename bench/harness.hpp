@@ -1,0 +1,154 @@
+#pragma once
+
+// Shared experiment harness for the figure/table benchmarks.
+//
+// Every experiment follows the paper's protocol: the training data is
+// distributed equally at random across the processors *before* computation
+// begins (materialization is excluded from the measured time), the
+// classifier is trained, and the modeled parallel runtime — max over ranks
+// of compute + communication + I/O + idle on the SP2-like machine model —
+// is reported together with real I/O volumes and tree quality.
+//
+// Scaling: the paper runs 3.6M-7.2M records with q_root = 10,000 and a
+// 1 MB-per-6M-tuples memory limit on a 16-node SP2.  The bench defaults
+// scale records by 1/60 (60k-120k) and q_root to 200 so the whole suite
+// runs in minutes on one host; PDC_BENCH_SCALE multiplies the record
+// counts for larger runs.  Shapes, not absolute seconds, are the claim
+// (see EXPERIMENTS.md).
+
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clouds/metrics.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+
+namespace pdc::bench {
+
+/// The record counts run at 1/60 of the paper's (60k-120k vs 3.6M-7.2M).
+inline constexpr double kDataScale = 60.0;
+
+/// The SP2-like machine with its *fixed per-event* costs (message startup,
+/// disk positioning) scaled down by the same factor as the data.  Per-byte
+/// and per-record costs are scale-free, but fixed costs are not: leaving
+/// them at full size would make every deep tree node latency-bound in a way
+/// the paper's 3.6M-record runs never were.  Scaling them together with the
+/// data keeps the modeled compute : communication : I/O ratios in the
+/// paper's regime.
+inline mp::Machine scaled_machine() {
+  mp::Machine m = mp::Machine::sp2_like();
+  m.tau /= kDataScale;
+  m.disk_access /= kDataScale;
+  return m;
+}
+
+struct ExpParams {
+  int p = 4;
+  std::uint64_t records = 60'000;
+  int function = 2;
+  double sample_rate = 0.05;
+  std::uint64_t test_records = 0;  ///< 0: skip accuracy evaluation
+  pclouds::PcloudsConfig cfg{};
+  mp::Machine machine = scaled_machine();
+};
+
+struct ExpResult {
+  double parallel_time = 0.0;  ///< modeled seconds (training only)
+  double max_compute = 0.0;
+  double max_comm = 0.0;
+  double max_io = 0.0;
+  double balance = 0.0;
+  std::uint64_t bytes_read = 0;     ///< real bytes, training only, all ranks
+  std::uint64_t bytes_written = 0;
+  std::uint64_t io_ops = 0;
+  std::uint64_t records_redistributed = 0;
+  double accuracy = -1.0;
+  std::size_t tree_nodes = 0;
+  pclouds::PcloudsDiag diag;  ///< rank 0's diagnostics
+};
+
+/// The paper's default pCLOUDS configuration at bench scale.
+///
+/// q_root is scaled less aggressively than the record counts (1000 instead
+/// of 10,000 at 1/60 data scale): the ratio q_root / interval_threshold
+/// sets the small-node grain (the paper's n/1000), and keeping the grain
+/// fine preserves the delayed-task phase's load balance — the property the
+/// paper's 16-processor results depend on.
+inline pclouds::PcloudsConfig paper_config(std::uint64_t records) {
+  pclouds::PcloudsConfig cfg;
+  cfg.clouds.method = clouds::SplitMethod::kSSE;
+  // The paper: q_root = 10,000 at 6M records (q/n = 1/600, which sets the
+  // relative cost of the replication broadcast) and a 10-interval switch
+  // point (small-node grain n/1000, which sets the delayed-task balance).
+  // Both ratios are preserved at bench scale.
+  cfg.clouds.q_root = 600;
+  cfg.small_threshold_records = std::max<std::uint64_t>(records / 1000, 16);
+  cfg.memory_bytes = io::MemoryBudget::paper_scaled(records).bytes();
+  return cfg;
+}
+
+inline std::uint64_t scaled(std::uint64_t records) {
+  if (const char* env = std::getenv("PDC_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return static_cast<std::uint64_t>(records * s);
+  }
+  return records;
+}
+
+inline ExpResult run_experiment(const ExpParams& params) {
+  io::ScratchArena arena("bench", params.p);
+  mp::Runtime rt(params.p, params.machine);
+  data::AgrawalGenerator gen({.function = params.function, .seed = 404});
+  data::DatasetPartition part(params.records, params.p);
+  data::Sampler sampler(params.sample_rate, 17);
+
+  ExpResult out;
+  std::mutex mu;
+
+  const auto report = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  8192);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+
+    // The clock restarts at the beginning of computation, as in the paper;
+    // data distribution is a precondition, not part of the measurement.
+    const auto pre_io = disk.stats();
+    comm.clock().reset();
+
+    pclouds::PcloudsDiag diag;
+    auto tree = pclouds::pclouds_train(comm, params.cfg, disk, "train.dat",
+                                       sample, &diag);
+
+    std::lock_guard lock(mu);
+    out.bytes_read += disk.stats().bytes_read - pre_io.bytes_read;
+    out.bytes_written += disk.stats().bytes_written - pre_io.bytes_written;
+    out.io_ops += disk.stats().total_ops() - pre_io.total_ops();
+    out.records_redistributed += diag.dc.records_redistributed;
+    if (comm.rank() == 0) {
+      out.tree_nodes = tree.live_count();
+      out.diag = diag;
+      if (params.test_records > 0) {
+        const auto test =
+            data::make_test_set(gen, params.records, params.test_records);
+        out.accuracy = tree.accuracy(test);
+      }
+    }
+  });
+
+  out.parallel_time = report.parallel_time();
+  out.max_compute = report.max_compute();
+  out.max_comm = report.max_comm();
+  out.max_io = report.max_io();
+  out.balance = report.balance();
+  return out;
+}
+
+}  // namespace pdc::bench

@@ -1,0 +1,118 @@
+// Table 1 — collective communication primitives on a cut-through routed
+// hypercube.
+//
+// The paper's Table 1 gives the time complexity of the primitives the
+// algorithms rely on:
+//   all-to-all broadcast  O(tau log p + mu m (p-1))
+//   gather                O(tau log p + mu m p)
+//   global combine        O(tau log p + mu m)
+//   prefix sum            O(tau log p + mu m)
+//
+// This google-benchmark binary runs the real collectives through the SPMD
+// runtime and reports two things per (primitive, p, m) point: the measured
+// wall time of executing the collective (host-dependent) and, as the
+// `modeled_us` counter, the modeled cost charged by the cost model — which
+// is the quantity Table 1 predicts.  The `predicted_us` counter evaluates
+// the Table 1 formula directly; modeled and predicted must coincide.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "mp/runtime.hpp"
+
+namespace {
+
+using pdc::mp::Comm;
+using pdc::mp::CostModel;
+using pdc::mp::Machine;
+using pdc::mp::Runtime;
+
+enum Primitive : int {
+  kAllToAllBroadcast = 0,
+  kGather = 1,
+  kGlobalCombine = 2,
+  kPrefixSum = 3,
+};
+
+void run_primitive(benchmark::State& state, Primitive prim) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  Machine machine;
+  CostModel cost(machine);
+
+  double modeled = 0.0;
+  for (auto _ : state) {
+    Runtime rt(p, machine);
+    const auto report = rt.run([&](Comm& comm) {
+      std::vector<std::byte> block(bytes);
+      switch (prim) {
+        case kAllToAllBroadcast:
+          benchmark::DoNotOptimize(
+              comm.all_to_all_broadcast<std::byte>(block));
+          break;
+        case kGather:
+          benchmark::DoNotOptimize(comm.gather<std::byte>(0, block));
+          break;
+        case kGlobalCombine: {
+          // Combine a vector of m bytes element-wise.
+          auto out = comm.all_reduce_vec<std::byte>(
+              block, [](std::byte a, std::byte b) {
+                return std::byte(static_cast<unsigned>(a) ^
+                                 static_cast<unsigned>(b));
+              });
+          benchmark::DoNotOptimize(out);
+          break;
+        }
+        case kPrefixSum:
+          benchmark::DoNotOptimize(comm.prefix_sum<double>(1.5));
+          break;
+      }
+    });
+    modeled = report.max_comm();
+  }
+
+  double predicted = 0.0;
+  switch (prim) {
+    case kAllToAllBroadcast:
+      predicted = cost.all_to_all_broadcast(p, bytes);
+      break;
+    case kGather:
+      predicted = cost.gather(p, bytes);
+      break;
+    case kGlobalCombine:
+      predicted = cost.global_combine(p, bytes);
+      break;
+    case kPrefixSum:
+      predicted = cost.prefix_sum(p, sizeof(double));
+      break;
+  }
+  state.counters["modeled_us"] = modeled * 1e6;
+  state.counters["predicted_us"] = predicted * 1e6;
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int p : {2, 4, 8, 16}) {
+    for (int bytes : {1 << 10, 1 << 15, 1 << 20}) {
+      b->Args({p, bytes});
+    }
+  }
+  b->Unit(benchmark::kMicrosecond)->Iterations(3);
+}
+
+void BM_AllToAllBroadcast(benchmark::State& s) {
+  run_primitive(s, kAllToAllBroadcast);
+}
+void BM_Gather(benchmark::State& s) { run_primitive(s, kGather); }
+void BM_GlobalCombine(benchmark::State& s) { run_primitive(s, kGlobalCombine); }
+void BM_PrefixSum(benchmark::State& s) { run_primitive(s, kPrefixSum); }
+
+BENCHMARK(BM_AllToAllBroadcast)->Apply(args);
+BENCHMARK(BM_Gather)->Apply(args);
+BENCHMARK(BM_GlobalCombine)->Apply(args);
+BENCHMARK(BM_PrefixSum)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

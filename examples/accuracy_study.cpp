@@ -1,0 +1,63 @@
+// Accuracy study: the three splitting methods (SS, SSE, direct) across the
+// ten Agrawal classification functions.
+//
+//   ./accuracy_study [records]
+//
+// Reproduces the CLOUDS claim the paper builds on: the SSE method matches
+// the quality of the exhaustive direct method (its gini lower bound makes
+// the second pass exact) while SS, which only ever splits at sample-derived
+// interval boundaries, trades a little tree compactness for a single pass.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "clouds/builder.hpp"
+#include "clouds/metrics.hpp"
+#include "clouds/prune.hpp"
+#include "data/agrawal.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdc;
+
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 8'000;
+  const std::uint64_t n_test = n / 2;
+
+  std::printf("splitting-method study: %llu train / %llu test records\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(n_test));
+  std::printf("%4s | %23s | %23s | %23s\n", "", "SS", "SSE", "direct");
+  std::printf("%4s | %9s %6s %6s | %9s %6s %6s | %9s %6s %6s\n", "fn",
+              "accuracy", "nodes", "scans", "accuracy", "nodes", "scans",
+              "accuracy", "nodes", "scans");
+
+  for (int fn = 1; fn <= 10; ++fn) {
+    data::AgrawalGenerator gen(
+        {.function = fn, .seed = 101, .label_noise = 0.02});
+    const auto train = gen.make_range(0, n);
+    const auto test = gen.make_range(n, n + n_test);
+
+    std::printf("%4d |", fn);
+    for (const auto method :
+         {clouds::SplitMethod::kSS, clouds::SplitMethod::kSSE,
+          clouds::SplitMethod::kDirect}) {
+      clouds::CloudsConfig cfg;
+      cfg.method = method;
+      cfg.q_root = 500;
+      clouds::CloudsBuilder builder(cfg);
+      auto tree = builder.build(train);
+      clouds::mdl_prune(tree);
+      std::printf(" %9.4f %6zu %6.1f |", tree.accuracy(test),
+                  tree.live_count(),
+                  static_cast<double>(builder.stats().records_scanned) /
+                      static_cast<double>(n));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nscans = total records streamed / dataset size "
+              "(SS ~ 1 pass per level; SSE adds alive-interval passes;\n"
+              "direct sorts in memory, one pass per level for "
+              "partitioning).\n");
+  return 0;
+}

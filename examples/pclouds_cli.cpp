@@ -1,0 +1,212 @@
+// pclouds_cli: a full command-line driver over the library — generate a
+// workload, train (pCLOUDS or pSPRINT), prune, evaluate, optionally save
+// the model, and report the modeled cost breakdown.
+//
+//   ./pclouds_cli [--procs N] [--records N] [--function 1..10]
+//                 [--classifier pclouds|sprint] [--method ss|sse]
+//                 [--strategy data|concat|task|groups|mixed]
+//                 [--combiner attr|interval|hybrid|dist]
+//                 [--q N] [--memory BYTES] [--noise F] [--sample F]
+//                 [--save PATH] [--no-prune]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "clouds/metrics.hpp"
+#include "clouds/model_io.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/evaluate.hpp"
+#include "pclouds/pclouds.hpp"
+#include "sprint/sprint.hpp"
+
+namespace {
+
+struct Options {
+  int procs = 4;
+  std::uint64_t records = 20'000;
+  int function = 2;
+  std::string classifier = "pclouds";
+  std::string method = "sse";
+  std::string strategy = "mixed";
+  std::string combiner = "attr";
+  int q = 1000;
+  std::size_t memory = 0;  // 0: paper-scaled
+  double noise = 0.0;
+  double sample = 0.05;
+  std::string save_path;
+  bool prune = true;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--procs") {
+      opt.procs = std::atoi(next());
+    } else if (arg == "--records") {
+      opt.records = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--function") {
+      opt.function = std::atoi(next());
+    } else if (arg == "--classifier") {
+      opt.classifier = next();
+    } else if (arg == "--method") {
+      opt.method = next();
+    } else if (arg == "--strategy") {
+      opt.strategy = next();
+    } else if (arg == "--combiner") {
+      opt.combiner = next();
+    } else if (arg == "--q") {
+      opt.q = std::atoi(next());
+    } else if (arg == "--memory") {
+      opt.memory = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--noise") {
+      opt.noise = std::atof(next());
+    } else if (arg == "--sample") {
+      opt.sample = std::atof(next());
+    } else if (arg == "--save") {
+      opt.save_path = next();
+    } else if (arg == "--no-prune") {
+      opt.prune = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+pdc::dc::Strategy strategy_of(const std::string& s) {
+  using pdc::dc::Strategy;
+  if (s == "data") return Strategy::kDataParallel;
+  if (s == "concat") return Strategy::kConcatenated;
+  if (s == "task") return Strategy::kTaskParallel;
+  if (s == "groups") return Strategy::kTaskGroups;
+  return Strategy::kMixed;
+}
+
+pdc::pclouds::CombineMethod combiner_of(const std::string& s) {
+  using pdc::pclouds::CombineMethod;
+  if (s == "interval") return CombineMethod::kReplicationInterval;
+  if (s == "hybrid") return CombineMethod::kReplicationHybrid;
+  if (s == "dist") return CombineMethod::kDistributed;
+  return CombineMethod::kReplicationAttribute;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdc;
+
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+  if (opt.memory == 0) {
+    opt.memory = io::MemoryBudget::paper_scaled(opt.records).bytes();
+  }
+
+  data::AgrawalGenerator gen({.function = opt.function,
+                              .seed = 2026,
+                              .label_noise = opt.noise});
+  data::DatasetPartition part(opt.records, opt.procs);
+  data::Sampler sampler(opt.sample, 31);
+  const auto test = data::make_test_set(gen, opt.records, opt.records / 4);
+
+  io::ScratchArena arena("cli", opt.procs);
+  mp::Runtime rt(opt.procs);
+
+  std::mutex mu;
+  clouds::DecisionTree tree;
+  pclouds::PcloudsDiag diag;
+  clouds::Confusion confusion;
+
+  const auto report = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  8192);
+
+    clouds::DecisionTree local_tree;
+    pclouds::PcloudsDiag local_diag;
+    if (opt.classifier == "sprint") {
+      sprint::SprintConfig cfg;
+      cfg.memory_bytes = opt.memory;
+      sprint::SprintBuilder builder(cfg,
+                                    {&comm.clock(), comm.cost().machine()});
+      local_tree = builder.train(comm, disk, "train.dat");
+    } else {
+      const auto sample =
+          data::draw_local_sample(gen, part, sampler, comm.rank());
+      pclouds::PcloudsConfig cfg;
+      cfg.clouds.method = opt.method == "ss" ? clouds::SplitMethod::kSS
+                                             : clouds::SplitMethod::kSSE;
+      cfg.clouds.q_root = opt.q;
+      cfg.strategy = strategy_of(opt.strategy);
+      cfg.combiner = combiner_of(opt.combiner);
+      cfg.memory_bytes = opt.memory;
+      local_tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
+                                          sample, &local_diag);
+    }
+    if (opt.prune) {
+      pclouds::pclouds_prune(comm, local_tree, {},
+                             {&comm.clock(), comm.cost().machine()});
+    }
+
+    // Parallel evaluation: each rank scores a strided share.
+    std::vector<data::Record> my_test;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank());
+         i < test.size(); i += static_cast<std::size_t>(opt.procs)) {
+      my_test.push_back(test[i]);
+    }
+    const auto conf = pclouds::pclouds_evaluate(
+        comm, local_tree, my_test, {&comm.clock(), comm.cost().machine()});
+
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      tree = std::move(local_tree);
+      diag = local_diag;
+      confusion = conf;
+    }
+  });
+
+  const auto shape = clouds::shape_of(tree);
+  std::printf("classifier  : %s (%s)\n", opt.classifier.c_str(),
+              opt.classifier == "sprint" ? "presorted lists"
+                                         : opt.method.c_str());
+  std::printf("workload    : function %d, %llu records, noise %.2f\n",
+              opt.function, static_cast<unsigned long long>(opt.records),
+              opt.noise);
+  std::printf("machine     : %d virtual processors, %zu B memory/processor\n",
+              opt.procs, opt.memory);
+  std::printf("accuracy    : %.4f  (confusion: tp=%lld fn=%lld fp=%lld "
+              "tn=%lld)\n",
+              confusion.accuracy(),
+              static_cast<long long>(confusion.cell[0][0]),
+              static_cast<long long>(confusion.cell[0][1]),
+              static_cast<long long>(confusion.cell[1][0]),
+              static_cast<long long>(confusion.cell[1][1]));
+  std::printf("tree        : %zu nodes, %zu leaves, depth %d%s\n",
+              shape.nodes, shape.leaves, shape.depth,
+              opt.prune ? " (MDL-pruned)" : "");
+  if (opt.classifier != "sprint") {
+    std::printf("parallelism : %zu large tasks, %zu small tasks, mean "
+                "survival %.3f\n",
+                diag.dc.large_tasks, diag.dc.small_tasks,
+                diag.mean_survival);
+  }
+  std::printf("modeled time: %.3f s  (compute %.3f, comm %.3f, io %.3f, "
+              "balance %.3f)\n",
+              report.parallel_time(), report.max_compute(),
+              report.max_comm(), report.max_io(), report.balance());
+
+  if (!opt.save_path.empty()) {
+    clouds::save_tree(tree, opt.save_path);
+    std::printf("model saved : %s\n", opt.save_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+#pragma once
+
+// Categorical attribute evaluation.  CLOUDS handles categorical attributes
+// exactly as SPRINT does: a count matrix (value x class) is accumulated in
+// the same pass that fills the numeric interval histograms, and the best
+// binary subset split is derived from the matrix alone — no further passes.
+//
+// For low-cardinality attributes the optimal subset is found exhaustively
+// (2^(c-1) candidates); above kExhaustiveLimit a standard greedy hill-climb
+// is used, as in SPRINT.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clouds/gini.hpp"
+#include "clouds/split.hpp"
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+inline constexpr int kExhaustiveLimit = 12;
+
+/// value x class count matrix for one categorical attribute.
+struct CountMatrix {
+  int attr = 0;
+  std::vector<data::ClassCounts> counts;  ///< indexed by attribute value
+
+  explicit CountMatrix(int attribute = 0)
+      : attr(attribute),
+        counts(static_cast<std::size_t>(
+            data::kCatCardinality[static_cast<std::size_t>(attribute)])) {}
+
+  void add(const data::Record& r) {
+    ++counts[static_cast<std::size_t>(
+        r.cat[static_cast<std::size_t>(attr)])]
+            [static_cast<std::size_t>(r.label)];
+  }
+
+  /// For callers that carry (value, label) pairs instead of whole records
+  /// (e.g. SPRINT attribute lists).
+  void add(int value, std::int8_t label) {
+    ++counts[static_cast<std::size_t>(value)][static_cast<std::size_t>(label)];
+  }
+
+  data::ClassCounts total() const {
+    data::ClassCounts acc{};
+    for (const auto& c : counts) acc += c;
+    return acc;
+  }
+
+  /// Flattened counts, for element-wise global combines across processors.
+  std::vector<std::int64_t> flatten() const {
+    std::vector<std::int64_t> out;
+    out.reserve(counts.size() * data::kNumClasses);
+    for (const auto& c : counts) {
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        out.push_back(c[static_cast<std::size_t>(k)]);
+      }
+    }
+    return out;
+  }
+
+  void unflatten(std::span<const std::int64_t> flat) {
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        counts[v][static_cast<std::size_t>(k)] =
+            flat[v * data::kNumClasses + static_cast<std::size_t>(k)];
+      }
+    }
+  }
+};
+
+namespace detail {
+
+inline SplitCandidate exhaustive_subset(const CountMatrix& m) {
+  SplitCandidate best;
+  const int card = static_cast<int>(m.counts.size());
+  const data::ClassCounts total = m.total();
+  // Enumerate subsets containing value 0 (complement symmetry halves work);
+  // skip empty/full splits.
+  const std::uint32_t limit = 1u << (card - 1);
+  for (std::uint32_t half = 0; half < limit; ++half) {
+    const std::uint32_t subset = (half << 1) | 1u;
+    data::ClassCounts left{};
+    for (int v = 0; v < card; ++v) {
+      if ((subset >> v) & 1u) left += m.counts[static_cast<std::size_t>(v)];
+    }
+    const auto right = total - left;
+    if (data::total(left) == 0 || data::total(right) == 0) continue;
+    Split s;
+    s.kind = Split::Kind::kCategorical;
+    s.attr = static_cast<std::int8_t>(m.attr);
+    s.subset = subset;
+    best.consider(split_gini(left, right), s);
+  }
+  return best;
+}
+
+inline SplitCandidate greedy_subset(const CountMatrix& m) {
+  SplitCandidate best;
+  const int card = static_cast<int>(m.counts.size());
+  const data::ClassCounts total = m.total();
+  std::uint32_t subset = 0;
+  data::ClassCounts left{};
+  // Greedily move the value that most improves gini; record the best split
+  // seen along the trajectory.
+  for (int step = 0; step < card - 1; ++step) {
+    int best_v = -1;
+    double best_g = 0.0;
+    for (int v = 0; v < card; ++v) {
+      if ((subset >> v) & 1u) continue;
+      auto l = left;
+      l += m.counts[static_cast<std::size_t>(v)];
+      const auto r = total - l;
+      if (data::total(r) == 0) continue;
+      const double g = split_gini(l, r);
+      if (best_v < 0 || g < best_g) {
+        best_v = v;
+        best_g = g;
+      }
+    }
+    if (best_v < 0) break;
+    subset |= 1u << best_v;
+    left += m.counts[static_cast<std::size_t>(best_v)];
+    if (data::total(left) > 0 && data::total(total - left) > 0) {
+      Split s;
+      s.kind = Split::Kind::kCategorical;
+      s.attr = static_cast<std::int8_t>(m.attr);
+      s.subset = subset;
+      best.consider(best_g, s);
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
+
+/// Best binary subset split for one categorical attribute.
+inline SplitCandidate best_categorical_split(const CountMatrix& m) {
+  if (static_cast<int>(m.counts.size()) <= kExhaustiveLimit) {
+    return detail::exhaustive_subset(m);
+  }
+  return detail::greedy_subset(m);
+}
+
+/// Fresh (zeroed) count matrices for all categorical attributes.
+inline std::vector<CountMatrix> make_count_matrices() {
+  std::vector<CountMatrix> out;
+  out.reserve(data::kNumCategorical);
+  for (int a = 0; a < data::kNumCategorical; ++a) out.emplace_back(a);
+  return out;
+}
+
+}  // namespace pdc::clouds

@@ -1,0 +1,53 @@
+#pragma once
+
+// Optional modeled-compute accounting for the CLOUDS kernels.
+//
+// The sequential classifier is usable standalone (null clock: hooks no-op);
+// inside the SPMD runtime each rank passes its Clock so split derivation,
+// sorting and partitioning advance the modeled timeline with the Machine's
+// per-operation costs.
+
+#include <cmath>
+#include <cstdint>
+
+#include "mp/clock.hpp"
+#include "mp/machine.hpp"
+
+namespace pdc::clouds {
+
+struct CostHooks {
+  mp::Clock* clock = nullptr;
+  mp::Machine machine{};
+
+  /// One streaming pass touching `record_attrs` record-attribute pairs.
+  void charge_scan(std::uint64_t record_attrs) const {
+    if (clock) {
+      clock->add_compute(machine.cpu_scan_op *
+                         static_cast<double>(record_attrs));
+    }
+  }
+
+  /// `evals` gini evaluations at candidate points.
+  void charge_gini(std::uint64_t evals) const {
+    if (clock) {
+      clock->add_compute(machine.cpu_gini_op * static_cast<double>(evals));
+    }
+  }
+
+  /// Comparison-sort of `n` keys.
+  void charge_sort(std::uint64_t n) const {
+    if (clock && n > 1) {
+      const double dn = static_cast<double>(n);
+      clock->add_compute(machine.cpu_cmp_op * dn * std::log2(dn));
+    }
+  }
+
+  /// Moving `bytes` through memory (e.g. partitioning buffers).
+  void charge_bytes(std::uint64_t bytes) const {
+    if (clock) {
+      clock->add_compute(machine.cpu_byte_op * static_cast<double>(bytes));
+    }
+  }
+};
+
+}  // namespace pdc::clouds

@@ -1,0 +1,41 @@
+#pragma once
+
+// Gini index computations.  All of CART/SLIQ/SPRINT/CLOUDS derive their
+// splitting criterion from the gini index of the two partitions induced by a
+// candidate split; pCLOUDS picks the split with the global minimum weighted
+// gini.
+
+#include <cstdint>
+
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+using data::ClassCounts;
+
+/// gini(S) = 1 - sum_k (n_k / n)^2.  Zero for a pure set; by convention
+/// zero for an empty set.
+inline double gini(const ClassCounts& counts) {
+  const double n = static_cast<double>(data::total(counts));
+  if (n <= 0.0) return 0.0;
+  double sumsq = 0.0;
+  for (auto c : counts) {
+    const double f = static_cast<double>(c) / n;
+    sumsq += f * f;
+  }
+  return 1.0 - sumsq;
+}
+
+/// Weighted gini of a binary split:
+///   gini_split = (n_L/n) gini(L) + (n_R/n) gini(R).
+/// Lower is better.  Splits with an empty side are useless for partitioning;
+/// they still evaluate to gini of the whole set.
+inline double split_gini(const ClassCounts& left, const ClassCounts& right) {
+  const double nl = static_cast<double>(data::total(left));
+  const double nr = static_cast<double>(data::total(right));
+  const double n = nl + nr;
+  if (n <= 0.0) return 0.0;
+  return (nl / n) * gini(left) + (nr / n) * gini(right);
+}
+
+}  // namespace pdc::clouds

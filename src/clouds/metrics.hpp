@@ -1,0 +1,64 @@
+#pragma once
+
+// Classifier quality metrics used by the examples and the experiment
+// harness: accuracy, per-class confusion counts and tree compactness.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "clouds/tree.hpp"
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+struct Confusion {
+  /// cell[actual][predicted]
+  std::array<std::array<std::int64_t, data::kNumClasses>, data::kNumClasses>
+      cell{};
+
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const auto& row : cell) {
+      for (auto v : row) t += v;
+    }
+    return t;
+  }
+
+  std::int64_t correct() const {
+    std::int64_t t = 0;
+    for (int k = 0; k < data::kNumClasses; ++k) {
+      t += cell[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+    }
+    return t;
+  }
+
+  double accuracy() const {
+    const auto n = total();
+    return n == 0 ? 1.0
+                  : static_cast<double>(correct()) / static_cast<double>(n);
+  }
+};
+
+inline Confusion evaluate(const DecisionTree& tree,
+                          std::span<const data::Record> test) {
+  Confusion c;
+  for (const auto& r : test) {
+    const auto predicted = tree.classify(r);
+    ++c.cell[static_cast<std::size_t>(r.label)]
+            [static_cast<std::size_t>(predicted)];
+  }
+  return c;
+}
+
+struct TreeShape {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::int32_t depth = 0;
+};
+
+inline TreeShape shape_of(const DecisionTree& tree) {
+  return {tree.live_count(), tree.leaf_count(), tree.max_depth()};
+}
+
+}  // namespace pdc::clouds

@@ -1,0 +1,68 @@
+#pragma once
+
+// Decision-tree model persistence: a versioned binary format so trained
+// classifiers can be saved, shipped and reloaded (TreeNode is trivially
+// copyable and layout-checked, making the serialization a header plus the
+// raw node arena).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "clouds/tree.hpp"
+
+namespace pdc::clouds {
+
+namespace detail {
+inline constexpr std::uint32_t kTreeMagic = 0x70646354;  // "pdcT"
+inline constexpr std::uint32_t kTreeVersion = 1;
+
+struct TreeHeader {
+  std::uint32_t magic = kTreeMagic;
+  std::uint32_t version = kTreeVersion;
+  std::uint64_t node_count = 0;
+};
+}  // namespace detail
+
+inline void save_tree(const DecisionTree& tree,
+                      const std::filesystem::path& path) {
+  const auto nodes = tree.serialize();
+  detail::TreeHeader header;
+  header.node_count = nodes.size();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("save_tree: cannot create " + path.string());
+  const bool ok =
+      std::fwrite(&header, sizeof(header), 1, f) == 1 &&
+      (nodes.empty() ||
+       std::fwrite(nodes.data(), sizeof(TreeNode), nodes.size(), f) ==
+           nodes.size());
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("save_tree: short write " + path.string());
+}
+
+inline DecisionTree load_tree(const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("load_tree: cannot open " + path.string());
+  detail::TreeHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    throw std::runtime_error("load_tree: truncated header " + path.string());
+  }
+  if (header.magic != detail::kTreeMagic ||
+      header.version != detail::kTreeVersion) {
+    std::fclose(f);
+    throw std::runtime_error("load_tree: bad magic/version " + path.string());
+  }
+  std::vector<TreeNode> nodes(header.node_count);
+  if (header.node_count != 0 &&
+      std::fread(nodes.data(), sizeof(TreeNode), nodes.size(), f) !=
+          nodes.size()) {
+    std::fclose(f);
+    throw std::runtime_error("load_tree: truncated nodes " + path.string());
+  }
+  std::fclose(f);
+  return DecisionTree::deserialize(std::move(nodes));
+}
+
+}  // namespace pdc::clouds

@@ -1,0 +1,51 @@
+#include "clouds/prune.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+double mdl_leaf_cost(const data::ClassCounts& counts) {
+  const double n = static_cast<double>(data::total(counts));
+  if (n <= 0.0) return 1.0;
+  double bits = 0.0;
+  for (auto c : counts) {
+    if (c > 0) {
+      const double f = static_cast<double>(c) / n;
+      bits += -static_cast<double>(c) * std::log2(f);
+    }
+  }
+  const double param_bits = 0.5 * (data::kNumClasses - 1) * std::log2(n + 1);
+  return 1.0 + bits + param_bits;
+}
+
+PruneStats mdl_prune(DecisionTree& tree, const PruneConfig& cfg) {
+  PruneStats stats;
+  stats.nodes_before = tree.live_count();
+  const double split_bits =
+      std::log2(static_cast<double>(data::kNumAttributes)) +
+      cfg.split_value_bits;
+
+  // Returns the MDL cost of the (possibly pruned) subtree rooted at id.
+  std::function<double(std::int32_t)> prune_walk =
+      [&](std::int32_t id) -> double {
+    const double leaf_cost = mdl_leaf_cost(tree.node(id).counts);
+    if (tree.node(id).leaf) return leaf_cost;
+    const double subtree_cost = 1.0 + split_bits +
+                                prune_walk(tree.node(id).left) +
+                                prune_walk(tree.node(id).right);
+    if (leaf_cost <= subtree_cost) {
+      tree.collapse(id);
+      ++stats.collapsed;
+      return leaf_cost;
+    }
+    return subtree_cost;
+  };
+  prune_walk(tree.root());
+  stats.nodes_after = tree.live_count();
+  return stats;
+}
+
+}  // namespace pdc::clouds

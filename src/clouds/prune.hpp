@@ -1,0 +1,39 @@
+#pragma once
+
+// MDL-based pruning (the paper prunes with a minimum-description-length
+// algorithm, executed in memory after construction; its cost is negligible
+// next to construction, which is why only construction is parallelized).
+//
+// Two-part code, bottom-up:
+//   cost(leaf)    = 1 structure bit + n*H(class distribution) +
+//                   ((#classes - 1)/2) * log2(n)   [parameter cost]
+//   cost(subtree) = 1 structure bit + L(split) + cost(left) + cost(right)
+//   L(split)      = log2(#attributes) + value-encoding bits
+// A subtree is collapsed into a leaf whenever the leaf code is no longer
+// than the subtree code.
+
+#include <cstdint>
+
+#include "clouds/tree.hpp"
+
+namespace pdc::clouds {
+
+struct PruneConfig {
+  /// Bits to encode a numeric threshold / categorical subset.  Larger
+  /// values prune more aggressively.
+  double split_value_bits = 16.0;
+};
+
+struct PruneStats {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t collapsed = 0;
+};
+
+/// Encoding cost of the records at a node if it becomes a leaf.
+double mdl_leaf_cost(const data::ClassCounts& counts);
+
+/// Prunes `tree` in place; returns statistics.
+PruneStats mdl_prune(DecisionTree& tree, const PruneConfig& cfg = {});
+
+}  // namespace pdc::clouds

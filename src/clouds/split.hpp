@@ -1,0 +1,74 @@
+#pragma once
+
+// A splitter point: the test stored at an internal tree node.  Numeric
+// splits send `value <= threshold` left; categorical splits send values in
+// the `subset` bitmask left.
+//
+// Split is trivially copyable so the winning splitter can be broadcast to
+// all processors with one collective, exactly as the paper describes.
+
+#include <cstdint>
+#include <limits>
+
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+struct Split {
+  enum class Kind : std::int8_t { kNumeric, kCategorical };
+
+  Kind kind = Kind::kNumeric;
+  std::int8_t attr = 0;     ///< numeric or categorical attribute index
+  float threshold = 0.0f;   ///< numeric: left iff value <= threshold
+  std::uint32_t subset = 0; ///< categorical: left iff bit `value` set
+
+  bool goes_left(const data::Record& r) const {
+    if (kind == Kind::kNumeric) {
+      return r.num[static_cast<std::size_t>(attr)] <= threshold;
+    }
+    return (subset >> r.cat[static_cast<std::size_t>(attr)]) & 1u;
+  }
+
+  friend bool operator==(const Split&, const Split&) = default;
+};
+
+/// A candidate split with its weighted gini; `valid` is false when no
+/// usable split exists (e.g. all attribute values identical).
+struct SplitCandidate {
+  double gini = std::numeric_limits<double>::infinity();
+  Split split{};
+  bool valid = false;
+
+  /// Keep the better (lower-gini) candidate; ties keep *this (callers
+  /// iterate attributes in a fixed order, making the choice deterministic).
+  void consider(const SplitCandidate& other) {
+    if (other.valid && (!valid || other.gini < gini)) *this = other;
+  }
+
+  void consider(double g, const Split& s) {
+    if (!valid || g < gini) {
+      gini = g;
+      split = s;
+      valid = true;
+    }
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<SplitCandidate>);
+
+/// Deterministic "is a better than b": lower gini wins; exact ties broken
+/// by (kind, attr, threshold, subset) so every processor of a parallel
+/// min-reduction picks the same winner.
+inline bool candidate_less(const SplitCandidate& a, const SplitCandidate& b) {
+  if (a.valid != b.valid) return a.valid;
+  if (!a.valid) return false;
+  if (a.gini != b.gini) return a.gini < b.gini;
+  if (a.split.kind != b.split.kind) return a.split.kind < b.split.kind;
+  if (a.split.attr != b.split.attr) return a.split.attr < b.split.attr;
+  if (a.split.threshold != b.split.threshold) {
+    return a.split.threshold < b.split.threshold;
+  }
+  return a.split.subset < b.split.subset;
+}
+
+}  // namespace pdc::clouds

@@ -1,0 +1,118 @@
+#pragma once
+
+// Split derivation at a tree node: the SS method, the SSE method (gini
+// lower bounds -> alive intervals -> exact re-evaluation) and the direct
+// method (full sort, every point evaluated) used for small in-memory nodes
+// and as the quality baseline.
+//
+// All three consume a NodeStats built by collect_stats() in one sequential
+// pass over the node's data; SSE makes one further pass to gather the
+// points of alive intervals.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "clouds/categorical.hpp"
+#include "clouds/cost_hooks.hpp"
+#include "clouds/intervals.hpp"
+#include "clouds/record_source.hpp"
+#include "clouds/split.hpp"
+#include "data/record.hpp"
+
+namespace pdc::clouds {
+
+/// Everything one pass over a node's data yields: interval class-frequency
+/// histograms for every numeric attribute, count matrices for every
+/// categorical attribute, and the node's class counts.
+struct NodeStats {
+  std::vector<IntervalHist> hists;  ///< size kNumNumeric
+  std::vector<CountMatrix> cats;    ///< size kNumCategorical
+  data::ClassCounts counts{};
+
+  /// Zeroed stats with boundaries built from the node's sample.
+  static NodeStats with_boundaries(std::span<const data::Record> sample,
+                                   int q);
+
+  void add(const data::Record& r);
+};
+
+/// One pass over `source`, filling `stats` (whose boundaries must already be
+/// set).  This is the paper's "evaluation of interval boundaries" data scan.
+void collect_stats(RecordSource& source, NodeStats& stats,
+                   const CostHooks& hooks);
+
+/// Best split among the interval boundaries of one numeric attribute.
+SplitCandidate evaluate_boundaries(const IntervalHist& hist, int attr,
+                                   const CostHooks& hooks);
+
+/// Best split among all boundary points and all categorical splits — the
+/// full SS method decision given collected stats (gini_min in the paper).
+SplitCandidate ss_split(const NodeStats& stats, const CostHooks& hooks);
+
+/// An interval whose gini lower bound beats gini_min, queued for exact
+/// re-evaluation.
+struct AliveInterval {
+  int attr = 0;
+  std::size_t interval = 0;
+  float lo = 0.0f;               ///< exclusive; -inf encoded by lowest float
+  float hi = 0.0f;               ///< inclusive; +inf encoded by highest float
+  bool unbounded_lo = false;
+  bool unbounded_hi = false;
+  data::ClassCounts before{};    ///< counts strictly left of the interval
+  data::ClassCounts inside{};
+  data::ClassCounts after{};
+  double gini_est = 0.0;
+
+  bool contains(float v) const {
+    const bool above = unbounded_lo || v > lo;
+    const bool below = unbounded_hi || v <= hi;
+    return above && below;
+  }
+};
+
+/// Determine the alive intervals of every numeric attribute given the
+/// current global minimum gini.
+std::vector<AliveInterval> find_alive_intervals(const NodeStats& stats,
+                                                double gini_min,
+                                                const CostHooks& hooks);
+
+/// Ratio of points inside alive intervals to the node size — the paper's
+/// "survival ratio", the knob that drives SSE's second-pass I/O volume.
+double survival_ratio(std::span<const AliveInterval> alive,
+                      const data::ClassCounts& node_counts);
+
+/// A (value, label) point harvested from an alive interval.
+struct AlivePoint {
+  float value;
+  std::int8_t label;
+};
+
+/// Exact evaluation of one alive interval given its harvested points:
+/// sorts them and computes gini at every distinct value.
+SplitCandidate evaluate_alive_interval(const AliveInterval& iv,
+                                       std::vector<AlivePoint> points,
+                                       const CostHooks& hooks);
+
+/// Diagnostics from an SSE split derivation.
+struct SseDiag {
+  double gini_boundary = 0.0;  ///< best gini among boundaries/categoricals
+  double gini_final = 0.0;
+  std::size_t alive_intervals = 0;
+  double survival = 0.0;       ///< fraction of points requiring the 2nd pass
+  std::uint64_t second_pass_points = 0;
+};
+
+/// The full sequential SSE method: boundary evaluation, aliveness, one
+/// extra pass over `source` to harvest alive points, exact re-evaluation.
+SplitCandidate sse_split(const NodeStats& stats, RecordSource& source,
+                         const CostHooks& hooks, SseDiag* diag = nullptr);
+
+/// Direct method: sort every numeric attribute and evaluate gini at every
+/// distinct point; categorical attributes from the count matrices.  Used
+/// in-memory for small nodes and as the quality reference.
+SplitCandidate direct_split(std::span<const data::Record> records,
+                            const CostHooks& hooks);
+
+}  // namespace pdc::clouds

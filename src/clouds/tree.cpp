@@ -1,0 +1,208 @@
+#include "clouds/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <functional>
+#include <sstream>
+
+namespace pdc::clouds {
+
+DecisionTree::DecisionTree(const data::ClassCounts& root_counts) {
+  TreeNode root;
+  root.counts = root_counts;
+  set_majority(root);
+  nodes_.push_back(root);
+}
+
+void DecisionTree::set_majority(TreeNode& n) {
+  int best = 0;
+  for (int k = 1; k < data::kNumClasses; ++k) {
+    if (n.counts[static_cast<std::size_t>(k)] >
+        n.counts[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  n.label = static_cast<std::int8_t>(best);
+}
+
+std::pair<std::int32_t, std::int32_t> DecisionTree::grow(
+    std::int32_t id, const Split& split, const data::ClassCounts& left,
+    const data::ClassCounts& right) {
+  const auto lid = static_cast<std::int32_t>(nodes_.size());
+  const auto rid = lid + 1;
+  TreeNode l;
+  l.counts = left;
+  l.depth = node(id).depth + 1;
+  set_majority(l);
+  TreeNode r;
+  r.counts = right;
+  r.depth = node(id).depth + 1;
+  set_majority(r);
+  nodes_.push_back(l);
+  nodes_.push_back(r);
+
+  TreeNode& parent = node(id);
+  parent.leaf = false;
+  parent.split = split;
+  parent.left = lid;
+  parent.right = rid;
+  return {lid, rid};
+}
+
+void DecisionTree::collapse(std::int32_t id) {
+  TreeNode& n = node(id);
+  n.leaf = true;
+  n.left = -1;
+  n.right = -1;
+  set_majority(n);
+}
+
+std::int8_t DecisionTree::classify(const data::Record& r) const {
+  std::int32_t id = root();
+  while (!node(id).leaf) {
+    id = node(id).split.goes_left(r) ? node(id).left : node(id).right;
+  }
+  return node(id).label;
+}
+
+double DecisionTree::accuracy(std::span<const data::Record> records) const {
+  if (records.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (const auto& r : records) {
+    if (classify(r) == r.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(records.size());
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  std::function<void(std::int32_t)> walk = [&](std::int32_t id) {
+    if (node(id).leaf) {
+      ++leaves;
+    } else {
+      walk(node(id).left);
+      walk(node(id).right);
+    }
+  };
+  walk(root());
+  return leaves;
+}
+
+std::int32_t DecisionTree::max_depth() const {
+  std::int32_t deepest = 0;
+  std::function<void(std::int32_t)> walk = [&](std::int32_t id) {
+    deepest = std::max(deepest, node(id).depth);
+    if (!node(id).leaf) {
+      walk(node(id).left);
+      walk(node(id).right);
+    }
+  };
+  walk(root());
+  return deepest;
+}
+
+std::size_t DecisionTree::live_count() const {
+  std::size_t n = 0;
+  std::function<void(std::int32_t)> walk = [&](std::int32_t id) {
+    ++n;
+    if (!node(id).leaf) {
+      walk(node(id).left);
+      walk(node(id).right);
+    }
+  };
+  walk(root());
+  return n;
+}
+
+DecisionTree DecisionTree::deserialize(std::vector<TreeNode> nodes) {
+  DecisionTree t;
+  if (!nodes.empty()) t.nodes_ = std::move(nodes);
+  return t;
+}
+
+void DecisionTree::graft(std::int32_t at, const std::vector<TreeNode>& sub) {
+  if (sub.empty()) return;
+  if (!node(at).leaf) {
+    throw std::logic_error("DecisionTree::graft: target must be a leaf");
+  }
+  const auto offset = static_cast<std::int32_t>(nodes_.size());
+  const std::int32_t base_depth = node(at).depth;
+
+  // Copy the subtree root onto the target leaf, children into the arena.
+  auto rebase = [&](TreeNode n, std::int32_t depth_delta) {
+    n.depth += depth_delta;
+    if (!n.leaf) {
+      // Child index 0 in `sub` is the root and never a child; the offset
+      // maps sub-index i (>0) to arena index offset + i - 1.
+      n.left += offset - 1;
+      n.right += offset - 1;
+    }
+    return n;
+  };
+
+  const std::int32_t depth_delta = base_depth - sub[0].depth;
+  nodes_[static_cast<std::size_t>(at)] = rebase(sub[0], depth_delta);
+  for (std::size_t i = 1; i < sub.size(); ++i) {
+    nodes_.push_back(rebase(sub[i], depth_delta));
+  }
+}
+
+std::vector<TreeNode> DecisionTree::extract(std::int32_t at) const {
+  // graft() expects: sub[0] is the root; an internal sub[i] has children at
+  // sub-array indices left/right (>= 1).  Emit in preorder and patch child
+  // links as we go.
+  std::vector<TreeNode> out;
+  std::function<std::int32_t(std::int32_t)> copy =
+      [&](std::int32_t id) -> std::int32_t {
+    const auto pos = static_cast<std::int32_t>(out.size());
+    out.push_back(node(id));
+    if (!node(id).leaf) {
+      const auto l = copy(node(id).left);
+      const auto r = copy(node(id).right);
+      out[static_cast<std::size_t>(pos)].left = l;
+      out[static_cast<std::size_t>(pos)].right = r;
+    }
+    return pos;
+  };
+  copy(at);
+  return out;
+}
+
+std::string DecisionTree::to_string() const {
+  std::ostringstream out;
+  std::function<void(std::int32_t)> walk = [&](std::int32_t id) {
+    const TreeNode& n = node(id);
+    for (int d = 0; d < n.depth; ++d) out << "  ";
+    if (n.leaf) {
+      out << "leaf class=" << static_cast<int>(n.label) << " counts=[";
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        out << (k ? "," : "") << n.counts[static_cast<std::size_t>(k)];
+      }
+      out << "]\n";
+    } else {
+      if (n.split.kind == Split::Kind::kNumeric) {
+        out << data::kNumericNames[static_cast<std::size_t>(n.split.attr)]
+            << " <= " << n.split.threshold << "\n";
+      } else {
+        out << data::kCatNames[static_cast<std::size_t>(n.split.attr)]
+            << " in {";
+        bool first = true;
+        for (int v = 0;
+             v < data::kCatCardinality[static_cast<std::size_t>(n.split.attr)];
+             ++v) {
+          if ((n.split.subset >> v) & 1u) {
+            out << (first ? "" : ",") << v;
+            first = false;
+          }
+        }
+        out << "}\n";
+      }
+      walk(n.left);
+      walk(n.right);
+    }
+  };
+  walk(root());
+  return out.str();
+}
+
+}  // namespace pdc::clouds

@@ -1,0 +1,187 @@
+#include "data/agrawal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdc::data {
+
+namespace {
+
+// Counter-based RNG: a splitmix64 stream keyed by (seed, index) gives each
+// record its own reproducible randomness regardless of generation order.
+struct Stream {
+  std::uint64_t state;
+
+  explicit Stream(std::uint64_t key) : state(key) {}
+
+  std::uint64_t next_u64() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_unit(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(next_u64() %
+                                 static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+std::uint64_t mix_key(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed * 0x9E3779B97F4A7C15ull + index + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool in_range(double v, double lo, double hi) { return lo <= v && v <= hi; }
+
+}  // namespace
+
+AgrawalGenerator::AgrawalGenerator(GeneratorConfig cfg) : cfg_(cfg) {
+  if (cfg.function < 1 || cfg.function > 10) {
+    throw std::invalid_argument("AgrawalGenerator: function must be in 1..10");
+  }
+  if (cfg.label_noise < 0.0 || cfg.label_noise >= 1.0) {
+    throw std::invalid_argument("AgrawalGenerator: noise must be in [0,1)");
+  }
+}
+
+bool AgrawalGenerator::is_group_a(int function, const Record& r) {
+  const double salary = r.num[kSalary];
+  const double commission = r.num[kCommission];
+  const double age = r.num[kAge];
+  const double hvalue = r.num[kHValue];
+  const double hyears = r.num[kHYears];
+  const double loan = r.num[kLoan];
+  const int elevel = r.cat[kELevel];
+
+  switch (function) {
+    case 1:
+      return age < 40 || age >= 60;
+    case 2:
+      // The paper's function: age bands with salary windows.
+      if (age < 40) return in_range(salary, 50'000, 100'000);
+      if (age < 60) return in_range(salary, 75'000, 125'000);
+      return in_range(salary, 25'000, 75'000);
+    case 3:
+      if (age < 40) return elevel <= 1;
+      if (age < 60) return elevel >= 1 && elevel <= 3;
+      return elevel >= 2;
+    case 4:
+      if (age < 40) {
+        return elevel <= 1 ? in_range(salary, 25'000, 75'000)
+                           : in_range(salary, 50'000, 100'000);
+      }
+      if (age < 60) {
+        return (elevel >= 1 && elevel <= 3) ? in_range(salary, 50'000, 100'000)
+                                            : in_range(salary, 75'000, 125'000);
+      }
+      return elevel >= 2 ? in_range(salary, 50'000, 100'000)
+                         : in_range(salary, 25'000, 75'000);
+    case 5:
+      if (age < 40) {
+        return in_range(salary, 50'000, 100'000)
+                   ? in_range(loan, 100'000, 300'000)
+                   : in_range(loan, 200'000, 400'000);
+      }
+      if (age < 60) {
+        return in_range(salary, 75'000, 125'000)
+                   ? in_range(loan, 200'000, 400'000)
+                   : in_range(loan, 300'000, 500'000);
+      }
+      return in_range(salary, 25'000, 75'000)
+                 ? in_range(loan, 300'000, 500'000)
+                 : in_range(loan, 100'000, 300'000);
+    case 6: {
+      const double t = salary + commission;
+      if (age < 40) return in_range(t, 50'000, 100'000);
+      if (age < 60) return in_range(t, 75'000, 125'000);
+      return in_range(t, 25'000, 75'000);
+    }
+    case 7:
+      return 0.67 * (salary + commission) - 0.2 * loan - 20'000 > 0;
+    case 8:
+      return 0.67 * (salary + commission) - 5'000.0 * elevel - 20'000 > 0;
+    case 9:
+      return 0.67 * (salary + commission) - 5'000.0 * elevel - 0.2 * loan +
+                 10'000 >
+             0;
+    case 10: {
+      const double equity =
+          hyears >= 20 ? 0.1 * hvalue * (hyears - 20.0) : 0.0;
+      return 0.67 * (salary + commission) - 5'000.0 * elevel + 0.2 * equity -
+                 10'000 >
+             0;
+    }
+    default:
+      throw std::invalid_argument("unknown classification function");
+  }
+}
+
+Record AgrawalGenerator::make(std::uint64_t index) const {
+  Stream s(mix_key(cfg_.seed, index));
+  Record r{};
+
+  const double salary = s.uniform(20'000, 150'000);
+  const double commission =
+      salary >= 75'000 ? 0.0 : s.uniform(10'000, 75'000);
+  const double age = s.uniform(20, 80);
+  const int elevel = s.uniform_int(0, 4);
+  const int car = s.uniform_int(0, 19);
+  const int zipcode = s.uniform_int(0, 8);
+  // House value depends on the zipcode bucket, per the original generator.
+  const double k = zipcode + 1.0;
+  const double hvalue = s.uniform(0.5 * k * 100'000, 1.5 * k * 100'000);
+  const double hyears = s.uniform(1, 30);
+  const double loan = s.uniform(0, 500'000);
+
+  r.num[kSalary] = static_cast<float>(salary);
+  r.num[kCommission] = static_cast<float>(commission);
+  r.num[kAge] = static_cast<float>(age);
+  r.num[kHValue] = static_cast<float>(hvalue);
+  r.num[kHYears] = static_cast<float>(hyears);
+  r.num[kLoan] = static_cast<float>(loan);
+  r.cat[kELevel] = static_cast<std::int8_t>(elevel);
+  r.cat[kCar] = static_cast<std::int8_t>(car);
+  r.cat[kZipcode] = static_cast<std::int8_t>(zipcode);
+
+  bool group_a = is_group_a(cfg_.function, r);
+  if (cfg_.label_noise > 0.0 && s.next_unit() < cfg_.label_noise) {
+    group_a = !group_a;
+  }
+  r.label = group_a ? 0 : 1;
+
+  if (cfg_.perturbation > 0.0) {
+    // Attribute ranges of the generator (hvalue uses the widest zipcode).
+    static constexpr std::array<double, kNumNumeric> kRange = {
+        130'000, 65'000, 60, 1'300'000, 29, 500'000};
+    for (int a = 0; a < kNumNumeric; ++a) {
+      const double delta = cfg_.perturbation *
+                           kRange[static_cast<std::size_t>(a)] *
+                           (s.next_unit() - 0.5);
+      r.num[static_cast<std::size_t>(a)] += static_cast<float>(delta);
+    }
+  }
+  return r;
+}
+
+std::vector<Record> AgrawalGenerator::make_range(std::uint64_t begin,
+                                                 std::uint64_t end) const {
+  std::vector<Record> out;
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) out.push_back(make(i));
+  return out;
+}
+
+}  // namespace pdc::data

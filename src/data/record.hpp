@@ -1,0 +1,101 @@
+#pragma once
+
+// The record layout of the paper's synthetic workload (Agrawal et al.'s
+// generator, as used by SLIQ, SPRINT and CLOUDS): six numeric and three
+// categorical attributes plus a binary class label.
+//
+// Records are trivially copyable so they can move through the
+// message-passing layer and on/off disk without any translation step.
+
+#include <array>
+#include <type_traits>
+#include <cstdint>
+#include <string_view>
+
+namespace pdc::data {
+
+inline constexpr int kNumNumeric = 6;
+inline constexpr int kNumCategorical = 3;
+inline constexpr int kNumAttributes = kNumNumeric + kNumCategorical;
+inline constexpr int kNumClasses = 2;
+
+/// Indices into Record::num.
+enum NumericAttr : int {
+  kSalary = 0,
+  kCommission = 1,
+  kAge = 2,
+  kHValue = 3,
+  kHYears = 4,
+  kLoan = 5,
+};
+
+/// Indices into Record::cat.
+enum CategoricalAttr : int {
+  kELevel = 0,  ///< education level, 0..4
+  kCar = 1,     ///< car make, 0..19
+  kZipcode = 2, ///< zipcode bucket, 0..8
+};
+
+/// Cardinality of each categorical attribute.
+inline constexpr std::array<int, kNumCategorical> kCatCardinality = {5, 20, 9};
+
+inline constexpr std::array<std::string_view, kNumNumeric> kNumericNames = {
+    "salary", "commission", "age", "hvalue", "hyears", "loan"};
+inline constexpr std::array<std::string_view, kNumCategorical> kCatNames = {
+    "elevel", "car", "zipcode"};
+
+struct Record {
+  std::array<float, kNumNumeric> num;
+  std::array<std::int8_t, kNumCategorical> cat;
+  std::int8_t label;  ///< 0 = group A, 1 = group B
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+static_assert(sizeof(Record) == 28, "Record layout must stay fixed on disk");
+
+/// Class frequency vector: one count per class.  A struct (not an array
+/// alias) so the arithmetic operators are found by ADL from any namespace.
+struct ClassCounts {
+  std::array<std::int64_t, kNumClasses> v{};
+
+  std::int64_t& operator[](std::size_t k) { return v[k]; }
+  const std::int64_t& operator[](std::size_t k) const { return v[k]; }
+
+  auto begin() { return v.begin(); }
+  auto end() { return v.end(); }
+  auto begin() const { return v.begin(); }
+  auto end() const { return v.end(); }
+
+  friend bool operator==(const ClassCounts&, const ClassCounts&) = default;
+
+  ClassCounts& operator+=(const ClassCounts& o) {
+    for (int k = 0; k < kNumClasses; ++k) v[static_cast<std::size_t>(k)] +=
+        o.v[static_cast<std::size_t>(k)];
+    return *this;
+  }
+
+  friend ClassCounts operator+(ClassCounts a, const ClassCounts& b) {
+    a += b;
+    return a;
+  }
+
+  friend ClassCounts operator-(const ClassCounts& a, const ClassCounts& b) {
+    ClassCounts out{};
+    for (int k = 0; k < kNumClasses; ++k) {
+      out.v[static_cast<std::size_t>(k)] =
+          a.v[static_cast<std::size_t>(k)] - b.v[static_cast<std::size_t>(k)];
+    }
+    return out;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<ClassCounts>);
+
+inline std::int64_t total(const ClassCounts& c) {
+  std::int64_t t = 0;
+  for (auto x : c.v) t += x;
+  return t;
+}
+
+}  // namespace pdc::data

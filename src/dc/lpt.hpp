@@ -1,0 +1,54 @@
+#pragma once
+
+// Longest-processing-time (LPT) task assignment: small tasks are assigned
+// to single processors "based on the task costs" (paper, Sections 3.4/5).
+// Deterministic, so every rank computes the identical assignment locally
+// with no extra communication.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace pdc::dc {
+
+struct LptAssignment {
+  std::vector<int> owner;       ///< per task
+  std::vector<double> load;     ///< per rank
+  double makespan = 0.0;        ///< max load
+  double balance = 1.0;         ///< mean load / max load
+};
+
+inline LptAssignment lpt_assign(const std::vector<double>& costs, int nprocs) {
+  LptAssignment out;
+  out.owner.assign(costs.size(), 0);
+  out.load.assign(static_cast<std::size_t>(nprocs), 0.0);
+  if (costs.empty() || nprocs <= 0) return out;
+
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs[a] > costs[b];
+  });
+
+  // Min-heap of (load, rank); ties broken by lower rank for determinism.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (int r = 0; r < nprocs; ++r) heap.emplace(0.0, r);
+
+  for (auto idx : order) {
+    auto [load, rank] = heap.top();
+    heap.pop();
+    out.owner[idx] = rank;
+    heap.emplace(load + costs[idx], rank);
+    out.load[static_cast<std::size_t>(rank)] += costs[idx];
+  }
+  out.makespan = *std::max_element(out.load.begin(), out.load.end());
+  const double mean =
+      std::accumulate(out.load.begin(), out.load.end(), 0.0) / nprocs;
+  out.balance = out.makespan > 0.0 ? mean / out.makespan : 1.0;
+  return out;
+}
+
+}  // namespace pdc::dc

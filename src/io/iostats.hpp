@@ -1,0 +1,30 @@
+#pragma once
+
+// Per-disk I/O statistics.  The paper's central argument is about how much
+// I/O each parallelization technique performs and how evenly it is spread
+// across processors, so these counters are first-class outputs of every
+// experiment.
+
+#include <cstddef>
+
+namespace pdc::io {
+
+struct IoStats {
+  std::size_t read_ops = 0;
+  std::size_t write_ops = 0;
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+
+  std::size_t total_bytes() const { return bytes_read + bytes_written; }
+  std::size_t total_ops() const { return read_ops + write_ops; }
+
+  IoStats& operator+=(const IoStats& o) {
+    read_ops += o.read_ops;
+    write_ops += o.write_ops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+}  // namespace pdc::io

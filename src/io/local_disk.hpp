@@ -1,0 +1,225 @@
+#pragma once
+
+// LocalDisk: a rank's private disk.
+//
+// Every access is a real file operation under the rank's scratch directory
+// and simultaneously charges the rank's modeled clock with the disk cost
+// model (positioning latency + bytes / bandwidth) and bumps IoStats.  Block
+// granularity matters: one streaming block = one disk request, so algorithms
+// that read a node's data in few large blocks are cheaper than ones that
+// dribble — exactly the effect the paper's out-of-core analysis hinges on.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/iostats.hpp"
+#include "mp/clock.hpp"
+#include "mp/cost_model.hpp"
+#include "mp/serialize.hpp"
+
+namespace pdc::io {
+
+class LocalDisk {
+ public:
+  LocalDisk(std::filesystem::path dir, const mp::CostModel* cost,
+            mp::Clock* clock)
+      : dir_(std::move(dir)), cost_(cost), clock_(clock) {
+    std::filesystem::create_directories(dir_);
+  }
+
+  const std::filesystem::path& dir() const { return dir_; }
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+  const mp::CostModel& cost() const { return *cost_; }
+  mp::Clock& clock() { return *clock_; }
+
+  std::filesystem::path path_of(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  bool exists(const std::string& name) const {
+    return std::filesystem::exists(path_of(name));
+  }
+
+  std::size_t file_bytes(const std::string& name) const {
+    std::error_code ec;
+    const auto n = std::filesystem::file_size(path_of(name), ec);
+    return ec ? 0 : static_cast<std::size_t>(n);
+  }
+
+  template <mp::Wireable T>
+  std::size_t file_records(const std::string& name) const {
+    return file_bytes(name) / sizeof(T);
+  }
+
+  void remove(const std::string& name) {
+    std::error_code ec;
+    std::filesystem::remove(path_of(name), ec);
+  }
+
+  void rename(const std::string& from, const std::string& to) {
+    std::filesystem::rename(path_of(from), path_of(to));
+  }
+
+  /// Write a whole typed file in one request (overwrites).
+  template <mp::Wireable T>
+  void write_file(const std::string& name, std::span<const T> data) {
+    FilePtr f(std::fopen(path_of(name).c_str(), "wb"));
+    if (!f) throw std::runtime_error("LocalDisk: cannot create " + name);
+    if (!data.empty() &&
+        std::fwrite(data.data(), sizeof(T), data.size(), f.get()) !=
+            data.size()) {
+      throw std::runtime_error("LocalDisk: short write to " + name);
+    }
+    charge_write(data.size_bytes());
+  }
+
+  /// Read a whole typed file in one request.
+  template <mp::Wireable T>
+  std::vector<T> read_file(const std::string& name) {
+    const std::size_t n = file_records<T>(name);
+    FilePtr f(std::fopen(path_of(name).c_str(), "rb"));
+    if (!f) throw std::runtime_error("LocalDisk: cannot open " + name);
+    std::vector<T> out(n);
+    if (n != 0 && std::fread(out.data(), sizeof(T), n, f.get()) != n) {
+      throw std::runtime_error("LocalDisk: short read from " + name);
+    }
+    charge_read(out.size() * sizeof(T));
+    return out;
+  }
+
+  void charge_read(std::size_t bytes) {
+    ++stats_.read_ops;
+    stats_.bytes_read += bytes;
+    clock_->add_io(cost_->disk_read(bytes));
+  }
+
+  void charge_write(std::size_t bytes) {
+    ++stats_.write_ops;
+    stats_.bytes_written += bytes;
+    clock_->add_io(cost_->disk_write(bytes));
+  }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+  template <mp::Wireable T>
+  friend class RecordWriter;
+  template <mp::Wireable T>
+  friend class RecordReader;
+
+  std::filesystem::path dir_;
+  const mp::CostModel* cost_;
+  mp::Clock* clock_;
+  IoStats stats_;
+};
+
+/// Appends fixed-size records to a file, buffering `block_records` records
+/// per disk request.  Close (or destroy) to flush.
+template <mp::Wireable T>
+class RecordWriter {
+ public:
+  RecordWriter(LocalDisk& disk, const std::string& name,
+               std::size_t block_records, bool append = false)
+      : disk_(&disk),
+        name_(name),
+        file_(std::fopen(disk.path_of(name).c_str(), append ? "ab" : "wb")),
+        block_records_(std::max<std::size_t>(1, block_records)) {
+    if (!file_) throw std::runtime_error("RecordWriter: cannot open " + name);
+    buffer_.reserve(block_records_);
+  }
+
+  ~RecordWriter() { close(); }
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  void append(const T& rec) {
+    buffer_.push_back(rec);
+    ++count_;
+    if (buffer_.size() >= block_records_) flush();
+  }
+
+  void append(std::span<const T> recs) {
+    for (const auto& r : recs) append(r);
+  }
+
+  void flush() {
+    if (buffer_.empty()) return;
+    if (std::fwrite(buffer_.data(), sizeof(T), buffer_.size(), file_.get()) !=
+        buffer_.size()) {
+      throw std::runtime_error("RecordWriter: short write to " + name_);
+    }
+    disk_->charge_write(buffer_.size() * sizeof(T));
+    buffer_.clear();
+  }
+
+  void close() {
+    if (file_) {
+      flush();
+      file_.reset();
+    }
+  }
+
+  /// Records appended so far (flushed or not).
+  std::size_t count() const { return count_; }
+
+ private:
+  LocalDisk* disk_;
+  std::string name_;
+  LocalDisk::FilePtr file_;
+  std::size_t block_records_;
+  std::vector<T> buffer_;
+  std::size_t count_ = 0;
+};
+
+/// Streams fixed-size records from a file, `block_records` per disk request.
+template <mp::Wireable T>
+class RecordReader {
+ public:
+  RecordReader(LocalDisk& disk, const std::string& name,
+               std::size_t block_records)
+      : disk_(&disk),
+        name_(name),
+        file_(std::fopen(disk.path_of(name).c_str(), "rb")),
+        block_records_(std::max<std::size_t>(1, block_records)),
+        remaining_(disk.file_records<T>(name)) {
+    if (!file_) throw std::runtime_error("RecordReader: cannot open " + name);
+  }
+
+  /// Reads the next block into `out` (replacing its contents).  Returns
+  /// false when the file is exhausted.
+  bool next_block(std::vector<T>& out) {
+    out.clear();
+    if (remaining_ == 0) return false;
+    const std::size_t n = std::min(block_records_, remaining_);
+    out.resize(n);
+    if (std::fread(out.data(), sizeof(T), n, file_.get()) != n) {
+      throw std::runtime_error("RecordReader: short read from " + name_);
+    }
+    disk_->charge_read(n * sizeof(T));
+    remaining_ -= n;
+    return true;
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  LocalDisk* disk_;
+  std::string name_;
+  LocalDisk::FilePtr file_;
+  std::size_t block_records_;
+  std::size_t remaining_;
+};
+
+}  // namespace pdc::io

@@ -1,0 +1,58 @@
+#include "io/scratch.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pdc::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path scratch_root() {
+  if (const char* env = std::getenv("PDC_SCRATCH_ROOT")) {
+    return fs::path(env);
+  }
+  return fs::temp_directory_path();
+}
+
+std::atomic<std::uint64_t> g_arena_counter{0};
+
+}  // namespace
+
+ScratchArena::ScratchArena(const std::string& tag, int nprocs)
+    : nprocs_(nprocs) {
+  if (nprocs < 1) throw std::invalid_argument("ScratchArena: nprocs >= 1");
+  const auto id = g_arena_counter.fetch_add(1);
+  root_ = scratch_root() /
+          ("pdc_" + tag + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(id));
+  fs::create_directories(root_);
+  for (int r = 0; r < nprocs; ++r) {
+    fs::create_directories(rank_dir(r));
+  }
+}
+
+ScratchArena::~ScratchArena() {
+  std::error_code ec;
+  fs::remove_all(root_, ec);  // best effort
+}
+
+fs::path ScratchArena::rank_dir(int rank) const {
+  return root_ / ("rank_" + std::to_string(rank));
+}
+
+std::uintmax_t ScratchArena::bytes_on_disk() const {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) total += it->file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace pdc::io

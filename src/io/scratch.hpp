@@ -1,0 +1,39 @@
+#pragma once
+
+// Scratch space management: one directory per virtual processor plays the
+// role of that processor's local disk in the paper's shared-nothing machine.
+
+#include <filesystem>
+#include <string>
+
+namespace pdc::io {
+
+/// Creates (and on destruction removes) a unique scratch tree with one
+/// subdirectory per rank.  All out-of-core files of rank r live under
+/// `rank_dir(r)`, which models the shared-nothing "one disk per processor"
+/// assumption: ranks never open each other's files; data moves between
+/// ranks only through the message-passing layer.
+class ScratchArena {
+ public:
+  /// `tag` names the arena; a unique suffix is appended.  The arena lives
+  /// under $PDC_SCRATCH_ROOT if set, else the system temp directory.
+  explicit ScratchArena(const std::string& tag, int nprocs);
+  ~ScratchArena();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  const std::filesystem::path& root() const { return root_; }
+  std::filesystem::path rank_dir(int rank) const;
+  int nprocs() const { return nprocs_; }
+
+  /// Bytes currently on "disk" across all ranks (for assertions about
+  /// out-of-core residency).
+  std::uintmax_t bytes_on_disk() const;
+
+ private:
+  std::filesystem::path root_;
+  int nprocs_;
+};
+
+}  // namespace pdc::io

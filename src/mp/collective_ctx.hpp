@@ -1,0 +1,146 @@
+#pragma once
+
+// Shared rendezvous state for collective operations.
+//
+// Collectives move their data through shared slots guarded by a central
+// sense-reversing barrier (fine for the tens of virtual processors this
+// runtime targets) and charge modeled time via the Table-1 cost formulas.
+// This keeps the modeled cost exactly equal to the paper's analysis instead
+// of whatever a p2p emulation would add up to.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mp/mailbox.hpp"  // AbortError
+
+namespace pdc::mp {
+
+/// Central sense-reversing barrier over `n` participants, abortable.
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(int n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    if (aborted_) throw AbortError{};
+    const std::size_t my_gen = generation_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_gen || aborted_; });
+      if (generation_ == my_gen && aborted_) throw AbortError{};
+    }
+  }
+
+  void abort() {
+    {
+      std::lock_guard lock(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    aborted_ = false;
+    arrived_ = 0;
+  }
+
+ private:
+  int n_;
+  int arrived_ = 0;
+  std::size_t generation_ = 0;
+  bool aborted_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Per-collective shared scratch: one byte-vector slot and one double slot
+/// per rank, plus phase barriers so one collective's epilogue cannot race
+/// the next collective's prologue.
+class CollectiveContext {
+ public:
+  explicit CollectiveContext(int nprocs)
+      : nprocs_(nprocs),
+        slots_(static_cast<std::size_t>(nprocs)),
+        times_(static_cast<std::size_t>(nprocs), 0.0),
+        enter_(nprocs),
+        mid_(nprocs),
+        exit_(nprocs) {}
+
+  int nprocs() const { return nprocs_; }
+
+  std::vector<std::byte>& slot(int rank) {
+    return slots_[static_cast<std::size_t>(rank)];
+  }
+  double& time_slot(int rank) { return times_[static_cast<std::size_t>(rank)]; }
+
+  /// Phase 1: everyone has published local data + local modeled time.
+  void publish_barrier() { enter_.arrive_and_wait(); }
+  /// Phase 2: everyone has read everyone's slots.
+  void read_barrier() { mid_.arrive_and_wait(); }
+  /// Phase 3: slots may be reused by the next collective.
+  void reuse_barrier() { exit_.arrive_and_wait(); }
+
+  void abort() {
+    enter_.abort();
+    mid_.abort();
+    exit_.abort();
+  }
+
+  void reset() {
+    enter_.reset();
+    mid_.reset();
+    exit_.reset();
+    for (auto& s : slots_) s.clear();
+  }
+
+ private:
+  int nprocs_;
+  std::vector<std::vector<std::byte>> slots_;
+  std::vector<double> times_;
+  CentralBarrier enter_;
+  CentralBarrier mid_;
+  CentralBarrier exit_;
+};
+
+/// Registry of subgroup collective contexts created by Comm::split().
+/// Keyed by (parent context, split generation, color) so that every member
+/// of a new subgroup — and only they — shares one context.  Owned by the
+/// Runtime for the duration of one run.
+class SplitArena {
+ public:
+  std::shared_ptr<CollectiveContext> get_or_create(
+      const CollectiveContext* parent, std::uint64_t generation, int color,
+      int size) {
+    std::lock_guard lock(mu_);
+    auto& slot = contexts_[Key{parent, generation, color}];
+    if (!slot) slot = std::make_shared<CollectiveContext>(size);
+    return slot;
+  }
+
+  void abort_all() {
+    std::lock_guard lock(mu_);
+    for (auto& [key, ctx] : contexts_) ctx->abort();
+  }
+
+ private:
+  struct Key {
+    const CollectiveContext* parent;
+    std::uint64_t generation;
+    int color;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  std::mutex mu_;
+  std::map<Key, std::shared_ptr<CollectiveContext>> contexts_;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,398 @@
+#pragma once
+
+// Comm: the per-rank handle of the SPMD message-passing runtime.
+//
+// Point-to-point messages go through real mailboxes; collectives rendezvous
+// through shared slots.  Every operation advances the rank's modeled Clock by
+// the cost-model formulas (Table 1 of the paper), so `clock().total()` is the
+// rank's position on the modeled parallel timeline.
+//
+// All collectives must be entered by every rank of the communicator, in the
+// same order — the usual SPMD contract.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mp/clock.hpp"
+#include "mp/collective_ctx.hpp"
+#include "mp/cost_model.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/serialize.hpp"
+
+namespace pdc::mp {
+
+class Comm {
+ public:
+  Comm(int rank, int size, const CostModel* cost,
+       std::vector<Mailbox>* mailboxes, CollectiveContext* ctx, Clock* clock,
+       SplitArena* arena = nullptr,
+       std::shared_ptr<const std::vector<int>> group = nullptr,
+       std::shared_ptr<CollectiveContext> owned_ctx = nullptr)
+      : rank_(rank),
+        size_(size),
+        cost_(cost),
+        mailboxes_(mailboxes),
+        ctx_(ctx),
+        clock_(clock),
+        arena_(arena),
+        group_(std::move(group)),
+        owned_ctx_(std::move(owned_ctx)) {}
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  Clock& clock() { return *clock_; }
+  const Clock& clock() const { return *clock_; }
+  const CostModel& cost() const { return *cost_; }
+
+  /// This rank's id in the world communicator (== rank() unless this Comm
+  /// came from split()).
+  int global_rank() const { return group_ ? (*group_)[static_cast<std::size_t>(rank_)] : rank_; }
+
+  /// Splits this communicator into subgroups (collective, like
+  /// MPI_Comm_split): all ranks with the same `color` form a new
+  /// communicator, ordered by (key, old rank); key defaults to the old
+  /// rank.  Point-to-point and collectives on the result are scoped to the
+  /// subgroup.  Costs one small all-to-all broadcast on the parent.
+  Comm split(int color, int key = -1) {
+    struct ColorKey {
+      int color;
+      int key;
+    };
+    const ColorKey mine{color, key == -1 ? rank_ : key};
+    const auto all = all_to_all_broadcast<ColorKey>(
+        std::span<const ColorKey>(&mine, 1));
+
+    auto members = std::make_shared<std::vector<int>>();
+    int my_pos = -1;
+    // Stable selection ordered by (key, parent rank).
+    std::vector<std::pair<int, int>> selected;  // (key, parent rank)
+    for (int r = 0; r < size_; ++r) {
+      if (all[static_cast<std::size_t>(r)][0].color == color) {
+        selected.emplace_back(all[static_cast<std::size_t>(r)][0].key, r);
+      }
+    }
+    std::sort(selected.begin(), selected.end());
+    for (const auto& [k, r] : selected) {
+      if (r == rank_) my_pos = static_cast<int>(members->size());
+      members->push_back(to_global(r));
+    }
+
+    if (!arena_) {
+      throw std::logic_error("Comm::split requires a runtime SplitArena");
+    }
+    const int group_size = static_cast<int>(members->size());
+    auto sub_ctx =
+        arena_->get_or_create(ctx_, split_generation_++, color, group_size);
+    CollectiveContext* sub_ctx_raw = sub_ctx.get();
+    return Comm(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
+                arena_, std::move(members), std::move(sub_ctx));
+  }
+
+  // ---------------------------------------------------------------- p2p ---
+
+  template <Wireable T>
+  void send(int dest, int tag, std::span<const T> data) {
+    Message msg;
+    msg.src = global_rank();
+    msg.tag = tag;
+    msg.payload = to_bytes(data);
+    clock_->add_comm(cost_->point_to_point(msg.payload.size()));
+    msg.arrival_time = clock_->total();
+    (*mailboxes_)[static_cast<std::size_t>(to_global(dest))].put(
+        std::move(msg));
+  }
+
+  template <Wireable T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Receive a vector of T from (src, tag); kAnySource/kAnyTag wildcards are
+  /// allowed.  Sets *actual_src if provided.
+  template <Wireable T>
+  std::vector<T> recv(int src, int tag, int* actual_src = nullptr) {
+    Message msg =
+        (*mailboxes_)[static_cast<std::size_t>(global_rank())].take(
+            src == kAnySource ? kAnySource : to_global(src), tag);
+    clock_->wait_until(msg.arrival_time);
+    clock_->add_comm(cost_->machine().tau);  // receive-side overhead
+    if (actual_src) *actual_src = to_local(msg.src);
+    return from_bytes<T>(msg.payload);
+  }
+
+  template <Wireable T>
+  T recv_value(int src, int tag, int* actual_src = nullptr) {
+    auto v = recv<T>(src, tag, actual_src);
+    return v.at(0);
+  }
+
+  bool probe(int src, int tag) const {
+    return (*mailboxes_)[static_cast<std::size_t>(global_rank())].probe(
+        src == kAnySource ? kAnySource : to_global(src), tag);
+  }
+
+  // -------------------------------------------------------- collectives ---
+
+  void barrier() {
+    sync_publish({});
+    const double t_max = max_published_time();
+    ctx_->read_barrier();
+    settle(t_max, cost_->barrier(size_));
+    ctx_->reuse_barrier();
+  }
+
+  /// All-to-all broadcast (allgather): every rank contributes a block, every
+  /// rank receives all blocks, indexed by source rank.  Blocks may differ in
+  /// size across ranks.
+  template <Wireable T>
+  std::vector<std::vector<T>> all_to_all_broadcast(std::span<const T> mine) {
+    sync_publish(to_bytes(mine));
+    const double t_max = max_published_time();
+    std::size_t m = 0;
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      const auto& s = ctx_->slot(r);
+      m = std::max(m, s.size());
+      out[static_cast<std::size_t>(r)] = from_bytes<T>(s);
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->all_to_all_broadcast(size_, m));
+    ctx_->reuse_barrier();
+    return out;
+  }
+
+  /// Allgather returning the concatenation of all blocks in rank order.
+  template <Wireable T>
+  std::vector<T> all_gather(std::span<const T> mine) {
+    auto blocks = all_to_all_broadcast(mine);
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.size();
+    out.reserve(total);
+    for (auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+
+  /// Gather to `root`: root receives all blocks (indexed by source rank);
+  /// other ranks receive an empty result.
+  template <Wireable T>
+  std::vector<std::vector<T>> gather(int root, std::span<const T> mine) {
+    sync_publish(to_bytes(mine));
+    const double t_max = max_published_time();
+    std::size_t m = 0;
+    for (int r = 0; r < size_; ++r) m = std::max(m, ctx_->slot(r).size());
+    std::vector<std::vector<T>> out;
+    if (rank_ == root) {
+      out.resize(static_cast<std::size_t>(size_));
+      for (int r = 0; r < size_; ++r) {
+        out[static_cast<std::size_t>(r)] = from_bytes<T>(ctx_->slot(r));
+      }
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->gather(size_, m));
+    ctx_->reuse_barrier();
+    return out;
+  }
+
+  /// One-to-all broadcast of a block from `root`.
+  template <Wireable T>
+  std::vector<T> broadcast(int root, std::span<const T> mine) {
+    sync_publish(rank_ == root ? to_bytes(mine) : std::vector<std::byte>{});
+    const double t_max = max_published_time();
+    const auto& s = ctx_->slot(root);
+    const std::size_t m = s.size();
+    std::vector<T> out = from_bytes<T>(s);
+    ctx_->read_barrier();
+    settle(t_max, cost_->one_to_all_broadcast(size_, m));
+    ctx_->reuse_barrier();
+    return out;
+  }
+
+  template <Wireable T>
+  T broadcast_value(int root, const T& value) {
+    auto v = broadcast(root, std::span<const T>(&value, 1));
+    return v.at(0);
+  }
+
+  /// Global combine (all-reduce) of a single value with a binary op, folded
+  /// in rank order (deterministic).
+  template <Wireable T, class Op = std::plus<T>>
+  T all_reduce(const T& value, Op op = Op{}) {
+    sync_publish(to_bytes(value));
+    const double t_max = max_published_time();
+    T acc = value_from_bytes<T>(ctx_->slot(0));
+    for (int r = 1; r < size_; ++r) {
+      acc = op(std::move(acc), value_from_bytes<T>(ctx_->slot(r)));
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->global_combine(size_, sizeof(T)));
+    ctx_->reuse_barrier();
+    return acc;
+  }
+
+  /// Element-wise global combine of equal-length vectors.
+  template <Wireable T, class Op = std::plus<T>>
+  std::vector<T> all_reduce_vec(std::span<const T> mine, Op op = Op{}) {
+    sync_publish(to_bytes(mine));
+    const double t_max = max_published_time();
+    std::vector<T> acc = from_bytes<T>(ctx_->slot(0));
+    for (int r = 1; r < size_; ++r) {
+      auto other = from_bytes<T>(ctx_->slot(r));
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = op(std::move(acc[i]), other[i]);
+      }
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->global_combine(size_, mine.size_bytes()));
+    ctx_->reuse_barrier();
+    return acc;
+  }
+
+  /// Inclusive prefix sum (scan) over ranks with a binary op.
+  template <Wireable T, class Op = std::plus<T>>
+  T prefix_sum(const T& value, Op op = Op{}) {
+    sync_publish(to_bytes(value));
+    const double t_max = max_published_time();
+    T acc = value_from_bytes<T>(ctx_->slot(0));
+    for (int r = 1; r <= rank_; ++r) {
+      acc = op(std::move(acc), value_from_bytes<T>(ctx_->slot(r)));
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->prefix_sum(size_, sizeof(T)));
+    ctx_->reuse_barrier();
+    return acc;
+  }
+
+  /// Min-reduction with location: the globally minimal value (ties broken by
+  /// lower rank) and the rank that owns it.  The paper uses this to pick the
+  /// global minimum gini and its splitting point.
+  template <Wireable T, class Less = std::less<T>>
+  std::pair<T, int> min_loc(const T& value, Less less = Less{}) {
+    sync_publish(to_bytes(value));
+    const double t_max = max_published_time();
+    T best = value_from_bytes<T>(ctx_->slot(0));
+    int best_rank = 0;
+    for (int r = 1; r < size_; ++r) {
+      T other = value_from_bytes<T>(ctx_->slot(r));
+      if (less(other, best)) {
+        best = other;
+        best_rank = r;
+      }
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->global_combine(size_, sizeof(T)));
+    ctx_->reuse_barrier();
+    return {best, best_rank};
+  }
+
+  /// All-to-all personalized exchange: `outgoing[d]` goes to rank d; returns
+  /// what every rank sent to me, indexed by source rank.
+  template <Wireable T>
+  std::vector<std::vector<T>> all_to_all(
+      const std::vector<std::vector<T>>& outgoing) {
+    // Frame: p uint64 segment lengths (in elements), then the segments.
+    std::vector<std::byte> frame;
+    std::vector<std::uint64_t> lens(static_cast<std::size_t>(size_));
+    std::size_t total = 0;
+    for (int d = 0; d < size_; ++d) {
+      lens[static_cast<std::size_t>(d)] =
+          outgoing[static_cast<std::size_t>(d)].size();
+      total += outgoing[static_cast<std::size_t>(d)].size();
+    }
+    frame.reserve(lens.size() * sizeof(std::uint64_t) + total * sizeof(T));
+    append_bytes(frame, std::span<const std::uint64_t>(lens));
+    for (int d = 0; d < size_; ++d) {
+      append_bytes(frame,
+                   std::span<const T>(outgoing[static_cast<std::size_t>(d)]));
+    }
+    sync_publish(std::move(frame));
+    const double t_max = max_published_time();
+
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size_));
+    std::size_t max_pair_bytes = 0;
+    for (int s = 0; s < size_; ++s) {
+      const auto& slot = ctx_->slot(s);
+      auto their_lens = from_bytes<std::uint64_t>(
+          std::span<const std::byte>(slot.data(),
+                                     static_cast<std::size_t>(size_) *
+                                         sizeof(std::uint64_t)));
+      std::size_t off = static_cast<std::size_t>(size_) * sizeof(std::uint64_t);
+      for (int d = 0; d < size_; ++d) {
+        const std::size_t seg = static_cast<std::size_t>(
+                                    their_lens[static_cast<std::size_t>(d)]) *
+                                sizeof(T);
+        if (d != s) max_pair_bytes = std::max(max_pair_bytes, seg);
+        if (d == rank_) {
+          incoming[static_cast<std::size_t>(s)] = from_bytes<T>(
+              std::span<const std::byte>(slot.data() + off, seg));
+        }
+        off += seg;
+      }
+    }
+    ctx_->read_barrier();
+    settle(t_max, cost_->all_to_all_personalized(size_, max_pair_bytes));
+    ctx_->reuse_barrier();
+    return incoming;
+  }
+
+ private:
+  int to_global(int r) const {
+    return group_ ? (*group_)[static_cast<std::size_t>(r)] : r;
+  }
+
+  int to_local(int global) const {
+    if (!group_) return global;
+    for (std::size_t i = 0; i < group_->size(); ++i) {
+      if ((*group_)[i] == global) return static_cast<int>(i);
+    }
+    return global;  // message from outside the group: report global id
+  }
+
+  template <Wireable T>
+  static void append_bytes(std::vector<std::byte>& out,
+                           std::span<const T> data) {
+    const auto bytes = to_bytes(data);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+
+  void sync_publish(std::vector<std::byte> payload) {
+    ctx_->time_slot(rank_) = clock_->total();
+    ctx_->slot(rank_) = std::move(payload);
+    ctx_->publish_barrier();
+  }
+
+  double max_published_time() const {
+    double t = 0.0;
+    for (int r = 0; r < size_; ++r) t = std::max(t, ctx_->time_slot(r));
+    return t;
+  }
+
+  /// Align this rank to the collective's start time and charge its cost.
+  void settle(double t_max, double comm_cost) {
+    clock_->wait_until(t_max);
+    clock_->add_comm(comm_cost);
+  }
+
+  int rank_;
+  int size_;
+  const CostModel* cost_;
+  std::vector<Mailbox>* mailboxes_;
+  CollectiveContext* ctx_;
+  Clock* clock_;
+  SplitArena* arena_ = nullptr;
+  /// Global rank of each member, by subgroup rank; null for the world.
+  std::shared_ptr<const std::vector<int>> group_;
+  /// Keeps a split-off context alive for this Comm's lifetime.
+  std::shared_ptr<CollectiveContext> owned_ctx_;
+  /// Advances on every split() so repeated splits get fresh contexts.
+  std::uint64_t split_generation_ = 0;
+};
+
+}  // namespace pdc::mp

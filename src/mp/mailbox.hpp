@@ -1,0 +1,104 @@
+#pragma once
+
+// Point-to-point message transport between virtual processors.
+//
+// Each rank owns a Mailbox.  send() deposits a byte payload plus the
+// sender's modeled departure time; recv() blocks (on a real condition
+// variable) until a message matching (src, tag) is present, then advances the
+// receiver's modeled clock to max(now, arrival).
+//
+// abort() wakes every blocked receiver with AbortError so that an exception
+// on one rank cannot deadlock the rest of the SPMD program.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace pdc::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Thrown out of blocking operations when the runtime aborts the program
+/// because some rank raised an exception.
+struct AbortError : std::runtime_error {
+  AbortError() : std::runtime_error("pdc::mp program aborted") {}
+};
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  double arrival_time = 0.0;  ///< modeled time at which the message lands
+};
+
+class Mailbox {
+ public:
+  void put(Message msg) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message matching (src, tag) arrives; src/tag may be
+  /// kAnySource/kAnyTag.  Messages from the same source arrive in order.
+  Message take(int src, int tag) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (aborted_) throw AbortError{};
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((src == kAnySource || it->src == src) &&
+            (tag == kAnyTag || it->tag == tag)) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int src, int tag) const {
+    std::lock_guard lock(mu_);
+    for (const auto& m : queue_) {
+      if ((src == kAnySource || m.src == src) &&
+          (tag == kAnyTag || m.tag == tag)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+  void abort() {
+    {
+      std::lock_guard lock(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    aborted_ = false;
+    queue_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace pdc::mp

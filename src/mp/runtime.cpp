@@ -1,0 +1,101 @@
+#include "mp/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+namespace pdc::mp {
+
+double SpmdReport::parallel_time() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t = std::max(t, c.total());
+  return t;
+}
+
+double SpmdReport::max_compute() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t = std::max(t, c.compute_s);
+  return t;
+}
+
+double SpmdReport::max_comm() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t = std::max(t, c.comm_s);
+  return t;
+}
+
+double SpmdReport::max_io() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t = std::max(t, c.io_s);
+  return t;
+}
+
+double SpmdReport::total_idle() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t += c.idle_s;
+  return t;
+}
+
+double SpmdReport::balance() const {
+  if (clocks.empty()) return 1.0;
+  double max_busy = 0.0;
+  double sum_busy = 0.0;
+  for (const auto& c : clocks) {
+    const double busy = c.compute_s + c.comm_s + c.io_s;
+    max_busy = std::max(max_busy, busy);
+    sum_busy += busy;
+  }
+  if (max_busy == 0.0) return 1.0;
+  return sum_busy / (static_cast<double>(clocks.size()) * max_busy);
+}
+
+Runtime::Runtime(int nprocs, Machine machine)
+    : nprocs_(nprocs), cost_(machine) {
+  if (nprocs < 1) throw std::invalid_argument("Runtime: nprocs must be >= 1");
+}
+
+SpmdReport Runtime::run(const std::function<void(Comm&)>& body) {
+  const auto n = static_cast<std::size_t>(nprocs_);
+  std::vector<Mailbox> mailboxes(n);
+  CollectiveContext ctx(nprocs_);
+  SplitArena arena;
+  std::vector<Clock> clocks(n);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(rank, nprocs_, &cost_, &mailboxes, &ctx, &clocks[rank], &arena);
+    try {
+      body(comm);
+    } catch (const AbortError&) {
+      // Another rank failed first; nothing to record.
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ctx.abort();
+      arena.abort_all();
+      for (auto& mb : mailboxes) mb.abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int r = 0; r < nprocs_; ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  SpmdReport report;
+  report.clocks.reserve(n);
+  for (const auto& c : clocks) report.clocks.push_back(c.snapshot());
+  return report;
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,63 @@
+#pragma once
+
+// SPMD runtime: runs a rank-function on p virtual processors (one thread
+// each) and reports the per-rank modeled clocks.
+//
+// Typical use:
+//
+//   pdc::mp::Runtime rt(8);                      // 8 virtual processors
+//   auto report = rt.run([&](pdc::mp::Comm& comm) {
+//     ... SPMD code; comm.rank(), comm.all_reduce(...), ... ;
+//   });
+//   double t = report.parallel_time();           // modeled seconds
+//
+// If any rank throws, the runtime aborts every blocked rank (AbortError) and
+// rethrows the first non-abort exception on the caller's thread.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mp/clock.hpp"
+#include "mp/collective_ctx.hpp"
+#include "mp/comm.hpp"
+#include "mp/cost_model.hpp"
+#include "mp/machine.hpp"
+#include "mp/mailbox.hpp"
+
+namespace pdc::mp {
+
+/// Per-run result: the final modeled clock of every rank.
+struct SpmdReport {
+  std::vector<ClockSnapshot> clocks;
+
+  /// Modeled parallel runtime: the slowest rank's timeline position.
+  double parallel_time() const;
+  double max_compute() const;
+  double max_comm() const;
+  double max_io() const;
+  double total_idle() const;
+
+  /// Load-balance indicator in [0,1]: mean busy time / max busy time,
+  /// where busy = compute + comm + io.
+  double balance() const;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(int nprocs, Machine machine = Machine::sp2_like());
+
+  int nprocs() const { return nprocs_; }
+  const Machine& machine() const { return cost_.machine(); }
+  const CostModel& cost() const { return cost_; }
+
+  /// Run `body` on every rank.  Blocking; returns when all ranks finish.
+  SpmdReport run(const std::function<void(Comm&)>& body);
+
+ private:
+  int nprocs_;
+  CostModel cost_;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,46 @@
+#pragma once
+
+// Byte (de)serialization for trivially-copyable value types moved through
+// the message-passing layer.
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace pdc::mp {
+
+template <class T>
+concept Wireable = std::is_trivially_copyable_v<T>;
+
+template <Wireable T>
+std::vector<std::byte> to_bytes(std::span<const T> data) {
+  std::vector<std::byte> out(data.size_bytes());
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size_bytes());
+  return out;
+}
+
+template <Wireable T>
+std::vector<std::byte> to_bytes(const T& value) {
+  return to_bytes(std::span<const T>(&value, 1));
+}
+
+template <Wireable T>
+std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  assert(bytes.size() % sizeof(T) == 0);
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+template <Wireable T>
+T value_from_bytes(std::span<const std::byte> bytes) {
+  assert(bytes.size() == sizeof(T));
+  T out;
+  std::memcpy(&out, bytes.data(), sizeof(T));
+  return out;
+}
+
+}  // namespace pdc::mp

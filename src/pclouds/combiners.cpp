@@ -1,0 +1,266 @@
+#include "pclouds/combiners.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "clouds/categorical.hpp"
+#include "clouds/estimate.hpp"
+#include "clouds/gini.hpp"
+
+namespace pdc::pclouds {
+
+using clouds::AliveInterval;
+using clouds::NodeStats;
+using clouds::Split;
+using clouds::SplitCandidate;
+
+static_assert(std::is_trivially_copyable_v<AliveInterval>,
+              "alive statuses are broadcast as raw bytes");
+
+SplitCandidate reduce_candidates(mp::Comm& comm, const SplitCandidate& mine) {
+  return comm.all_reduce<SplitCandidate>(
+      mine, [](SplitCandidate a, const SplitCandidate& b) {
+        return clouds::candidate_less(b, a) ? b : a;
+      });
+}
+
+namespace {
+
+/// Work-item ownership for the replication approaches.  Numeric boundary
+/// items are numbered consecutively (attribute major); categorical
+/// attributes are owned like attributes in every approach.
+struct WorkAssign {
+  CombineMethod method;
+  int nprocs;
+  std::size_t total_boundary_items;
+
+  bool owns_numeric(int rank, int attr, std::size_t item_index) const {
+    switch (method) {
+      case CombineMethod::kReplicationAttribute:
+        return attr % nprocs == rank;
+      case CombineMethod::kReplicationInterval:
+        return item_index % static_cast<std::size_t>(nprocs) ==
+               static_cast<std::size_t>(rank);
+      case CombineMethod::kReplicationHybrid: {
+        if (total_boundary_items == 0) return rank == 0;
+        const auto lo = total_boundary_items *
+                        static_cast<std::size_t>(rank) /
+                        static_cast<std::size_t>(nprocs);
+        const auto hi = total_boundary_items *
+                        static_cast<std::size_t>(rank + 1) /
+                        static_cast<std::size_t>(nprocs);
+        return item_index >= lo && item_index < hi;
+      }
+      case CombineMethod::kDistributed:
+        return attr % nprocs == rank;
+    }
+    return false;
+  }
+
+  bool owns_categorical(int rank, int cat_attr) const {
+    return (data::kNumNumeric + cat_attr) % nprocs == rank;
+  }
+};
+
+/// Evaluate the boundary candidates this rank owns, from global stats.
+SplitCandidate evaluate_owned_boundaries(const NodeStats& global,
+                                         const WorkAssign& assign, int rank,
+                                         const clouds::CostHooks& hooks) {
+  SplitCandidate best;
+  std::size_t item = 0;
+  std::uint64_t evals = 0;
+  for (int a = 0; a < data::kNumNumeric; ++a) {
+    const auto& hist = global.hists[static_cast<std::size_t>(a)];
+    const auto total = hist.total_counts();
+    data::ClassCounts prefix{};
+    for (std::size_t j = 0; j < hist.bounds.size(); ++j, ++item) {
+      prefix += hist.freq[j];
+      if (!assign.owns_numeric(rank, a, item)) continue;
+      ++evals;
+      const auto right = total - prefix;
+      if (data::total(prefix) == 0 || data::total(right) == 0) continue;
+      Split s;
+      s.kind = Split::Kind::kNumeric;
+      s.attr = static_cast<std::int8_t>(a);
+      s.threshold = hist.bounds[j];
+      best.consider(clouds::split_gini(prefix, right), s);
+    }
+  }
+  for (int c = 0; c < data::kNumCategorical; ++c) {
+    if (!assign.owns_categorical(rank, c)) continue;
+    const auto& m = global.cats[static_cast<std::size_t>(c)];
+    best.consider(clouds::best_categorical_split(m));
+    evals += m.counts.size() * m.counts.size();
+  }
+  hooks.charge_gini(evals);
+  return best;
+}
+
+/// Aliveness of the intervals this rank owns, from global stats.
+std::vector<AliveInterval> owned_alive_intervals(
+    const NodeStats& global, const WorkAssign& assign, int rank,
+    double gini_min, const clouds::CostHooks& hooks) {
+  std::vector<AliveInterval> alive;
+  std::size_t base = 0;  // first boundary item index of the attribute
+  std::uint64_t evals = 0;
+  for (int a = 0; a < data::kNumNumeric; ++a) {
+    const auto& hist = global.hists[static_cast<std::size_t>(a)];
+    const auto total = hist.total_counts();
+    data::ClassCounts before{};
+    for (std::size_t j = 0; j < hist.interval_count(); ++j) {
+      // Interval j rides with its upper boundary's owner; the final,
+      // unbounded interval rides with the last boundary.  An attribute with
+      // no boundaries at all (degenerate sample) goes to rank attr % p.
+      const auto& inside = hist.freq[j];
+      const bool mine =
+          hist.bounds.empty()
+              ? rank == a % assign.nprocs
+              : assign.owns_numeric(
+                    rank, a, base + std::min(j, hist.bounds.size() - 1));
+      if (mine && data::total(inside) > 1) {
+        ++evals;
+        const auto after = total - before - inside;
+        const double est = clouds::gini_lower_bound(before, inside, after);
+        if (est < gini_min) {
+          AliveInterval iv;
+          iv.attr = a;
+          iv.interval = j;
+          iv.unbounded_lo = (j == 0);
+          iv.unbounded_hi = (j == hist.bounds.size());
+          iv.lo = iv.unbounded_lo ? std::numeric_limits<float>::lowest()
+                                  : hist.bounds[j - 1];
+          iv.hi = iv.unbounded_hi ? std::numeric_limits<float>::max()
+                                  : hist.bounds[j];
+          iv.before = before;
+          iv.inside = inside;
+          iv.after = after;
+          iv.gini_est = est;
+          alive.push_back(iv);
+        }
+      }
+      before += inside;
+    }
+    base += hist.bounds.size();
+  }
+  hooks.charge_gini(evals * (1u << data::kNumClasses));
+  return alive;
+}
+
+/// Merge per-rank alive lists into one identical, deterministically ordered
+/// list on every rank ("the status of the intervals is broadcasted to all
+/// the processors").
+std::vector<AliveInterval> share_alive(mp::Comm& comm,
+                                       std::vector<AliveInterval> mine) {
+  auto merged = comm.all_gather<AliveInterval>(mine);
+  std::sort(merged.begin(), merged.end(),
+            [](const AliveInterval& a, const AliveInterval& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              return a.interval < b.interval;
+            });
+  return merged;
+}
+
+std::size_t total_boundary_items(const NodeStats& stats) {
+  std::size_t n = 0;
+  for (const auto& h : stats.hists) n += h.bounds.size();
+  return n;
+}
+
+}  // namespace
+
+BoundaryDerivation derive_replicated(mp::Comm& comm, CombineMethod method,
+                                     const NodeStats& global, bool want_alive,
+                                     const clouds::CostHooks& hooks) {
+  BoundaryDerivation out;
+  out.counts = global.counts;
+  const WorkAssign assign{method, comm.size(), total_boundary_items(global)};
+
+  const auto local_best =
+      evaluate_owned_boundaries(global, assign, comm.rank(), hooks);
+  out.gini_min = reduce_candidates(comm, local_best);
+
+  if (want_alive) {
+    const double threshold =
+        out.gini_min.valid ? out.gini_min.gini
+                           : std::numeric_limits<double>::infinity();
+    auto mine = owned_alive_intervals(global, assign, comm.rank(), threshold,
+                                      hooks);
+    out.alive = share_alive(comm, std::move(mine));
+  }
+  return out;
+}
+
+BoundaryDerivation derive_distributed(mp::Comm& comm, const NodeStats& local,
+                                      bool want_alive,
+                                      const clouds::CostHooks& hooks) {
+  BoundaryDerivation out;
+  out.counts = comm.all_reduce<data::ClassCounts>(
+      local.counts, [](data::ClassCounts a, const data::ClassCounts& b) {
+        a += b;
+        return a;
+      });
+
+  // Categorical matrices are tiny: one global combine, owners evaluate.
+  std::vector<std::int64_t> cat_flat;
+  for (const auto& m : local.cats) {
+    const auto f = m.flatten();
+    cat_flat.insert(cat_flat.end(), f.begin(), f.end());
+  }
+  const auto cat_global = comm.all_reduce_vec<std::int64_t>(cat_flat);
+
+  // Each numeric attribute's local vectors are gathered to its owner only —
+  // the "approximately distributes these statistics among the processors"
+  // alternative.  Owners keep the global vectors for the aliveness step.
+  NodeStats owned = local;  // boundary layout reused; freq replaced below
+  const WorkAssign assign{CombineMethod::kDistributed, comm.size(),
+                          total_boundary_items(local)};
+  for (int a = 0; a < data::kNumNumeric; ++a) {
+    const int owner = a % comm.size();
+    auto& hist = owned.hists[static_cast<std::size_t>(a)];
+    std::vector<std::int64_t> flat;
+    flat.reserve(hist.freq.size() * data::kNumClasses);
+    for (const auto& f :
+         local.hists[static_cast<std::size_t>(a)].freq) {
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        flat.push_back(f[static_cast<std::size_t>(k)]);
+      }
+    }
+    const auto gathered = comm.gather<std::int64_t>(owner, flat);
+    if (comm.rank() == owner) {
+      std::vector<std::int64_t> sum(flat.size(), 0);
+      for (const auto& part : gathered) {
+        for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += part[i];
+      }
+      for (std::size_t j = 0; j < hist.freq.size(); ++j) {
+        for (int k = 0; k < data::kNumClasses; ++k) {
+          hist.freq[j][static_cast<std::size_t>(k)] =
+              sum[j * data::kNumClasses + static_cast<std::size_t>(k)];
+        }
+      }
+    } else {
+      hist.reset_counts();  // this rank does not hold attribute a
+    }
+  }
+  std::size_t cat_off = 0;
+  for (auto& m : owned.cats) {
+    const std::size_t len = m.counts.size() * data::kNumClasses;
+    m.unflatten(std::span<const std::int64_t>(cat_global.data() + cat_off, len));
+    cat_off += len;
+  }
+
+  const auto local_best =
+      evaluate_owned_boundaries(owned, assign, comm.rank(), hooks);
+  out.gini_min = reduce_candidates(comm, local_best);
+
+  if (want_alive) {
+    const double threshold =
+        out.gini_min.valid ? out.gini_min.gini
+                           : std::numeric_limits<double>::infinity();
+    auto mine = owned_alive_intervals(owned, assign, comm.rank(), threshold,
+                                      hooks);
+    out.alive = share_alive(comm, std::move(mine));
+  }
+  return out;
+}
+
+}  // namespace pdc::pclouds

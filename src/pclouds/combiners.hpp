@@ -1,0 +1,58 @@
+#pragma once
+
+// Parallel derivation of the splitting point at a large node (paper,
+// Section 5.1): evaluation of the interval boundaries and determination of
+// the alive intervals, under the replication method (attribute-based,
+// interval-based or hybrid work assignment) or the distributed method.
+//
+// All variants produce identical results on every rank; they differ in
+// which rank evaluates which gini candidates (modeled compute balance) and
+// in how the global frequency vectors are materialized (communication
+// pattern and volume).
+
+#include <span>
+#include <vector>
+
+#include "clouds/cost_hooks.hpp"
+#include "clouds/split.hpp"
+#include "clouds/splitters.hpp"
+#include "mp/comm.hpp"
+#include "pclouds/config.hpp"
+
+namespace pdc::pclouds {
+
+/// Global combine of per-rank candidates: every rank gets the winner.
+clouds::SplitCandidate reduce_candidates(mp::Comm& comm,
+                                         const clouds::SplitCandidate& mine);
+
+struct BoundaryDerivation {
+  clouds::SplitCandidate gini_min;  ///< best boundary/categorical split
+  std::vector<clouds::AliveInterval> alive;  ///< empty unless want_alive
+  data::ClassCounts counts{};               ///< global node class counts
+};
+
+/// Replication method: `global` holds the fully combined statistics (every
+/// rank has them; the DcDriver's stats exchange did the combining).  The
+/// `method` selects which candidates this rank evaluates before the final
+/// min-reduction:
+///   attribute-based  rank (attr % p) evaluates all of an attribute,
+///   interval-based   boundary j of any attribute goes to rank (j % p),
+///   hybrid           all (attr, boundary) items split into p contiguous
+///                    balanced chunks.
+BoundaryDerivation derive_replicated(mp::Comm& comm, CombineMethod method,
+                                     const clouds::NodeStats& global,
+                                     bool want_alive,
+                                     const clouds::CostHooks& hooks);
+
+/// Distributed method: global vectors are never replicated.  Each numeric
+/// attribute's local frequency vectors are gathered only to its owner rank
+/// (attr % p), which evaluates boundaries and aliveness for that attribute;
+/// categorical matrices and node counts travel through one global combine.
+/// Alive-interval statuses are then broadcast to all ranks (all-gather), as
+/// the paper describes.
+BoundaryDerivation derive_distributed(mp::Comm& comm,
+                                      const clouds::NodeStats& local,
+                                      bool want_alive,
+                                      const clouds::CostHooks& hooks);
+
+}  // namespace pdc::pclouds

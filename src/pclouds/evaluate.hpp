@@ -1,0 +1,59 @@
+#pragma once
+
+// Parallel model evaluation and pruning.
+//
+// The paper parallelizes only construction: pruning is in-memory and cheap,
+// and with the tree replicated on every rank both pruning and test-set
+// classification need no data movement at all — each rank prunes its
+// replica identically (deterministic MDL) and classifies its local share of
+// the test set; one global combine merges the confusion matrices.
+
+#include <span>
+
+#include "clouds/cost_hooks.hpp"
+#include "clouds/metrics.hpp"
+#include "clouds/prune.hpp"
+#include "clouds/tree.hpp"
+#include "mp/comm.hpp"
+
+namespace pdc::pclouds {
+
+static_assert(std::is_trivially_copyable_v<clouds::Confusion>,
+              "confusion matrices travel through one global combine");
+
+/// Classifies this rank's share of the test set and returns the combined,
+/// machine-wide confusion matrix (identical on every rank).
+inline clouds::Confusion pclouds_evaluate(
+    mp::Comm& comm, const clouds::DecisionTree& tree,
+    std::span<const data::Record> local_test,
+    const clouds::CostHooks& hooks = {}) {
+  const auto local = clouds::evaluate(tree, local_test);
+  hooks.charge_scan(local_test.size() *
+                    static_cast<std::uint64_t>(tree.max_depth() + 1));
+  return comm.all_reduce<clouds::Confusion>(
+      local, [](clouds::Confusion a, const clouds::Confusion& b) {
+        for (int i = 0; i < data::kNumClasses; ++i) {
+          for (int j = 0; j < data::kNumClasses; ++j) {
+            a.cell[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+                b.cell[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(j)];
+          }
+        }
+        return a;
+      });
+}
+
+/// Prunes every rank's replica identically; returns this rank's stats (the
+/// same everywhere, MDL pruning being deterministic).  A final barrier
+/// keeps the modeled clocks aligned with the collective contract.
+inline clouds::PruneStats pclouds_prune(mp::Comm& comm,
+                                        clouds::DecisionTree& tree,
+                                        const clouds::PruneConfig& cfg = {},
+                                        const clouds::CostHooks& hooks = {}) {
+  const auto stats = clouds::mdl_prune(tree, cfg);
+  hooks.charge_gini(stats.nodes_before);  // one cost evaluation per node
+  comm.barrier();
+  return stats;
+}
+
+}  // namespace pdc::pclouds

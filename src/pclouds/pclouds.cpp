@@ -1,0 +1,98 @@
+#include "pclouds/pclouds.hpp"
+
+#include <algorithm>
+
+#include "pclouds/problem.hpp"
+
+namespace pdc::pclouds {
+
+namespace {
+
+/// Wire header for one small-node subtree.
+struct SubtreeHdr {
+  std::int64_t task_id;
+  std::uint64_t node_count;
+};
+static_assert(std::is_trivially_copyable_v<SubtreeHdr>);
+
+/// Every rank broadcasts the subtrees it built during the small-node phase;
+/// every rank grafts all of them (in task-id order) into its replica of the
+/// tree, so the final trees are identical everywhere.
+void assemble_small_subtrees(mp::Comm& comm, CloudsProblem& problem) {
+  std::vector<SubtreeHdr> headers;
+  std::vector<clouds::TreeNode> payload;
+  for (const auto& [task_id, nodes] : problem.small_subtrees()) {
+    headers.push_back({task_id, nodes.size()});
+    payload.insert(payload.end(), nodes.begin(), nodes.end());
+  }
+  const auto all_headers = comm.all_to_all_broadcast<SubtreeHdr>(headers);
+  const auto all_payloads = comm.all_to_all_broadcast<clouds::TreeNode>(payload);
+
+  struct Graft {
+    std::int64_t task_id;
+    std::vector<clouds::TreeNode> nodes;
+  };
+  std::vector<Graft> grafts;
+  for (int r = 0; r < comm.size(); ++r) {
+    std::size_t off = 0;
+    const auto& nodes = all_payloads[static_cast<std::size_t>(r)];
+    for (const auto& hdr : all_headers[static_cast<std::size_t>(r)]) {
+      grafts.push_back(
+          {hdr.task_id,
+           {nodes.begin() + static_cast<std::ptrdiff_t>(off),
+            nodes.begin() + static_cast<std::ptrdiff_t>(off + hdr.node_count)}});
+      off += hdr.node_count;
+    }
+  }
+  std::sort(grafts.begin(), grafts.end(),
+            [](const Graft& a, const Graft& b) { return a.task_id < b.task_id; });
+  for (const auto& g : grafts) {
+    problem.tree().graft(problem.tree_node_of(g.task_id), g.nodes);
+  }
+}
+
+}  // namespace
+
+clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
+                                   io::LocalDisk& disk,
+                                   const std::string& train_file,
+                                   std::span<const data::Record> local_sample,
+                                   PcloudsDiag* diag) {
+  // Preprocessing (root-only work, paper Sec. 5): settle the global size
+  // and replicate the pre-drawn sample set S so every rank derives
+  // identical interval boundaries at every node.
+  const std::uint64_t root_records = comm.all_reduce<std::uint64_t>(
+      disk.file_records<data::Record>(train_file));
+  auto full_sample = comm.all_gather<data::Record>(local_sample);
+
+  clouds::CostHooks hooks{&comm.clock(), comm.cost().machine()};
+  CloudsProblem problem(cfg, root_records, std::move(full_sample), hooks,
+                        &disk);
+
+  dc::DcConfig dcfg;
+  dcfg.strategy = cfg.strategy;
+  dcfg.small_threshold = cfg.derived_small_threshold(root_records);
+  dcfg.memory_bytes = cfg.memory_bytes;
+  dc::DcDriver<data::Record> driver(dcfg, disk);
+  const auto report = driver.run(comm, problem, train_file);
+
+  assemble_small_subtrees(comm, problem);
+
+  if (diag) {
+    diag->dc = report;
+    diag->root_records = root_records;
+    diag->sse_nodes = problem.diag().sse_nodes;
+    diag->mean_survival =
+        problem.diag().sse_nodes == 0
+            ? 0.0
+            : problem.diag().survival_sum /
+                  static_cast<double>(problem.diag().sse_nodes);
+    diag->alive_points_shipped = problem.diag().alive_points_shipped;
+    diag->alive_intervals = problem.diag().alive_intervals;
+    diag->prefilled_nodes = problem.diag().prefilled_nodes;
+    diag->small_subtrees_local = problem.small_subtrees().size();
+  }
+  return std::move(problem.tree());
+}
+
+}  // namespace pdc::pclouds

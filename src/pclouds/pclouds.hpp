@@ -1,0 +1,44 @@
+#pragma once
+
+// pCLOUDS: parallel out-of-core decision tree classification (the paper's
+// Section 5), as one SPMD entry point.
+//
+// Call pclouds_train() from every rank of a pdc::mp::Runtime, with the
+// rank's local training file (the randomly distributed slice of the
+// training set) and the rank's part of the pre-drawn sample set S.  All
+// ranks return the identical decision tree; diagnostics (modeled time is
+// read from the rank's clock / the runtime report) expose the quantities
+// the paper's evaluation discusses.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "clouds/tree.hpp"
+#include "dc/driver.hpp"
+#include "io/local_disk.hpp"
+#include "mp/comm.hpp"
+#include "pclouds/config.hpp"
+
+namespace pdc::pclouds {
+
+struct PcloudsDiag {
+  dc::DcReport dc;                    ///< framework counters (per rank)
+  std::uint64_t root_records = 0;     ///< global training set size
+  std::size_t sse_nodes = 0;          ///< large nodes derived with SSE
+  double mean_survival = 0.0;         ///< mean survival ratio across nodes
+  std::uint64_t alive_points_shipped = 0;  ///< this rank's 2nd-pass traffic
+  std::size_t alive_intervals = 0;
+  std::size_t prefilled_nodes = 0;    ///< stats passes saved by partitioning
+  std::size_t small_subtrees_local = 0;  ///< subtrees this rank built
+};
+
+/// Trains the classifier.  Collective: every rank must call with the same
+/// configuration.  Returns the replicated tree (identical on all ranks).
+clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
+                                   io::LocalDisk& disk,
+                                   const std::string& train_file,
+                                   std::span<const data::Record> local_sample,
+                                   PcloudsDiag* diag = nullptr);
+
+}  // namespace pdc::pclouds

@@ -1,0 +1,75 @@
+#pragma once
+
+// Wire codec for NodeStats under the replication method.
+//
+// The interval boundaries of a task are derived from the replicated sample,
+// so they are identical on every rank; only the class-frequency vectors
+// (per numeric interval, per categorical value, plus the node counts) need
+// to travel.  The blob is therefore a flat int64 array of identical length
+// on every rank, and the global statistics are the element-wise sum — which
+// is exactly what the paper's replication method computes (local vectors
+// combined into global vectors on every processor).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clouds/splitters.hpp"
+#include "mp/serialize.hpp"
+
+namespace pdc::pclouds {
+
+inline std::vector<std::byte> encode_stats(const clouds::NodeStats& stats) {
+  std::vector<std::int64_t> flat;
+  for (const auto& h : stats.hists) {
+    for (const auto& f : h.freq) {
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        flat.push_back(f[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  for (const auto& m : stats.cats) {
+    const auto cat_flat = m.flatten();
+    flat.insert(flat.end(), cat_flat.begin(), cat_flat.end());
+  }
+  for (int k = 0; k < data::kNumClasses; ++k) {
+    flat.push_back(stats.counts[static_cast<std::size_t>(k)]);
+  }
+  return mp::to_bytes(std::span<const std::int64_t>(flat));
+}
+
+/// Fills the frequency fields of `stats` (whose boundary layout must match
+/// the encoder's) from a blob.
+inline void decode_stats(std::span<const std::byte> blob,
+                         clouds::NodeStats& stats) {
+  const auto flat = mp::from_bytes<std::int64_t>(blob);
+  std::size_t i = 0;
+  for (auto& h : stats.hists) {
+    for (auto& f : h.freq) {
+      for (int k = 0; k < data::kNumClasses; ++k) {
+        f[static_cast<std::size_t>(k)] = flat[i++];
+      }
+    }
+  }
+  for (auto& m : stats.cats) {
+    const std::size_t len = m.counts.size() * data::kNumClasses;
+    m.unflatten(std::span<const std::int64_t>(flat.data() + i, len));
+    i += len;
+  }
+  for (int k = 0; k < data::kNumClasses; ++k) {
+    stats.counts[static_cast<std::size_t>(k)] = flat[i++];
+  }
+}
+
+/// Element-wise sum of two encoded blobs (empty acts as identity).
+inline std::vector<std::byte> combine_stats_blobs(
+    std::vector<std::byte> a, const std::vector<std::byte>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  auto fa = mp::from_bytes<std::int64_t>(a);
+  const auto fb = mp::from_bytes<std::int64_t>(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] += fb[i];
+  return mp::to_bytes(std::span<const std::int64_t>(fa));
+}
+
+}  // namespace pdc::pclouds

@@ -1,0 +1,50 @@
+#pragma once
+
+// SPRINT attribute lists (Shafer, Agrawal, Mehta, VLDB'96 — the paper's
+// reference [14] and the baseline CLOUDS was designed to beat).
+//
+// SPRINT decomposes the training set into one list per attribute; numeric
+// lists are sorted ONCE (in parallel: a distributed sample sort) and the
+// sort order is preserved through every partitioning step, so no node ever
+// re-sorts.  The price is the on-disk footprint — every attribute carries
+// its own (value, rid, class) copy of the data — and, at partitioning time,
+// a record-id exchange so every processor can route the entries of the
+// non-winning lists (the "memory-resident hash table" that limits SPRINT's
+// scalability; ScalParC [8] addresses exactly this).
+
+#include <cstdint>
+#include <string>
+
+#include "data/record.hpp"
+
+namespace pdc::sprint {
+
+/// One attribute-list entry.  `value` holds the numeric value, or the
+/// categorical id converted to float (exact for the small cardinalities of
+/// the workload).
+struct ListEntry {
+  float value;
+  std::uint32_t rid;   ///< global record id
+  std::int8_t label;
+};
+static_assert(sizeof(ListEntry) == 12);
+static_assert(std::is_trivially_copyable_v<ListEntry>);
+
+/// Total on-disk bytes per record across all attribute lists; SPRINT's
+/// footprint multiplier versus the plain record file.
+inline constexpr std::size_t kBytesPerRecord =
+    sizeof(ListEntry) * data::kNumAttributes;
+
+inline std::string list_file(int attr, std::int64_t node_id) {
+  return "sprint_a" + std::to_string(attr) + "_n" + std::to_string(node_id);
+}
+
+/// Ordering used for the one-time parallel pre-sort: by value, ties by rid
+/// so the global order is total and identical regardless of the initial
+/// distribution.
+inline bool entry_less(const ListEntry& a, const ListEntry& b) {
+  if (a.value != b.value) return a.value < b.value;
+  return a.rid < b.rid;
+}
+
+}  // namespace pdc::sprint

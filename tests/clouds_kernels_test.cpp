@@ -1,0 +1,385 @@
+// Tests for the CLOUDS split-derivation kernels: gini, intervals,
+// categorical subset search, the gini lower bound (key SSE invariant), and
+// the equivalence of SSE and the direct method.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "clouds/categorical.hpp"
+#include "clouds/estimate.hpp"
+#include "clouds/gini.hpp"
+#include "clouds/intervals.hpp"
+#include "clouds/record_source.hpp"
+#include "clouds/splitters.hpp"
+#include "data/agrawal.hpp"
+
+namespace pdc::clouds {
+namespace {
+
+using data::ClassCounts;
+using data::Record;
+
+std::int64_t draw(std::mt19937& rng, int bound) {
+  return static_cast<std::int64_t>(rng() % static_cast<unsigned>(bound));
+}
+
+TEST(Gini, PureSetIsZero) {
+  EXPECT_DOUBLE_EQ(gini(ClassCounts{{{100, 0}}}), 0.0);
+  EXPECT_DOUBLE_EQ(gini(ClassCounts{{{0, 7}}}), 0.0);
+}
+
+TEST(Gini, EvenSplitIsHalf) {
+  EXPECT_DOUBLE_EQ(gini(ClassCounts{{{50, 50}}}), 0.5);
+}
+
+TEST(Gini, EmptySetIsZeroByConvention) {
+  EXPECT_DOUBLE_EQ(gini(ClassCounts{}), 0.0);
+}
+
+TEST(Gini, BoundedByTheory) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    ClassCounts c{{{draw(rng, 1000), draw(rng, 1000)}}};
+    const double g = gini(c);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 0.5 + 1e-12);  // 1 - 1/k for k = 2
+  }
+}
+
+TEST(Gini, SplitGiniIsWeightedAverage) {
+  const ClassCounts l{{{30, 10}}};
+  const ClassCounts r{{{5, 55}}};
+  const double expect = (40.0 / 100.0) * gini(l) + (60.0 / 100.0) * gini(r);
+  EXPECT_DOUBLE_EQ(split_gini(l, r), expect);
+}
+
+TEST(Gini, PerfectSplitGivesZero) {
+  EXPECT_DOUBLE_EQ(split_gini(ClassCounts{{{40, 0}}}, ClassCounts{{{0, 60}}}),
+                   0.0);
+}
+
+TEST(Intervals, BoundariesSortedDistinctAndAtMostQMinus1) {
+  std::mt19937 rng(3);
+  std::vector<float> sample(1000);
+  for (auto& v : sample) {
+    v = static_cast<float>(rng() % 100);  // many duplicates
+  }
+  for (int q : {2, 5, 10, 50, 200}) {
+    auto b = equi_depth_boundaries(sample, q);
+    EXPECT_LE(static_cast<int>(b.size()), q - 1);
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+    EXPECT_TRUE(std::adjacent_find(b.begin(), b.end()) == b.end());
+  }
+}
+
+TEST(Intervals, EquiDepthOnUniformSample) {
+  std::vector<float> sample(10'000);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> u(0.0f, 1.0f);
+  for (auto& v : sample) v = u(rng);
+  const int q = 10;
+  auto b = equi_depth_boundaries(sample, q);
+  ASSERT_EQ(b.size(), 9u);
+  // Boundaries should be near the deciles.
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    EXPECT_NEAR(b[j], 0.1f * static_cast<float>(j + 1), 0.03f);
+  }
+}
+
+TEST(Intervals, DegenerateSamples) {
+  EXPECT_TRUE(equi_depth_boundaries({}, 10).empty());
+  EXPECT_TRUE(equi_depth_boundaries({1.0f, 1.0f, 1.0f}, 10).size() <= 1);
+  EXPECT_TRUE(equi_depth_boundaries({1.0f, 2.0f}, 1).empty());
+}
+
+TEST(Intervals, IntervalOfMatchesLinearScan) {
+  IntervalHist h;
+  h.bounds = {1.0f, 3.0f, 7.0f};
+  h.reset_counts();
+  ASSERT_EQ(h.interval_count(), 4u);
+  auto linear = [&](float v) -> std::size_t {
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (v <= h.bounds[j]) return j;
+    }
+    return h.bounds.size();
+  };
+  for (float v : {-5.0f, 0.0f, 1.0f, 1.5f, 3.0f, 3.1f, 7.0f, 100.0f}) {
+    EXPECT_EQ(h.interval_of(v), linear(v)) << v;
+  }
+}
+
+TEST(Intervals, PrefixCountsAccumulate) {
+  IntervalHist h;
+  h.bounds = {10.0f, 20.0f};
+  h.reset_counts();
+  h.add(5.0f, 0);
+  h.add(10.0f, 1);
+  h.add(15.0f, 0);
+  h.add(25.0f, 1);
+  auto prefix = h.prefix_counts();
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], (ClassCounts{{{1, 1}}}));  // <= 10
+  EXPECT_EQ(prefix[1], (ClassCounts{{{2, 1}}}));  // <= 20
+  EXPECT_EQ(h.total_counts(), (ClassCounts{{{2, 2}}}));
+}
+
+TEST(Categorical, CountMatrixAccumulatesAndFlattens) {
+  CountMatrix m(data::kZipcode);
+  Record r{};
+  r.cat[data::kZipcode] = 3;
+  r.label = 1;
+  m.add(r);
+  r.cat[data::kZipcode] = 3;
+  r.label = 0;
+  m.add(r);
+  EXPECT_EQ(m.counts[3], (ClassCounts{{{1, 1}}}));
+  auto flat = m.flatten();
+  ASSERT_EQ(flat.size(), static_cast<std::size_t>(
+                             data::kCatCardinality[data::kZipcode] *
+                             data::kNumClasses));
+  CountMatrix m2(data::kZipcode);
+  m2.unflatten(flat);
+  EXPECT_EQ(m2.counts[3], m.counts[3]);
+}
+
+TEST(Categorical, ExhaustiveFindsPerfectSubset) {
+  // elevel in {0,2,4} -> class 0, {1,3} -> class 1: separable.
+  CountMatrix m(data::kELevel);
+  m.counts[0] = {{{10, 0}}};
+  m.counts[1] = {{{0, 20}}};
+  m.counts[2] = {{{5, 0}}};
+  m.counts[3] = {{{0, 5}}};
+  m.counts[4] = {{{9, 0}}};
+  auto best = best_categorical_split(m);
+  ASSERT_TRUE(best.valid);
+  EXPECT_DOUBLE_EQ(best.gini, 0.0);
+  // value 0 always on the left by construction.
+  EXPECT_TRUE(best.split.subset & 1u);
+  EXPECT_EQ(best.split.subset, 0b10101u);
+}
+
+TEST(Categorical, GreedyNeverBeatsExhaustiveButIsClose) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    CountMatrix m(data::kELevel);  // cardinality 5: exhaustive is exact
+    for (auto& c : m.counts) c = {{{draw(rng, 50), draw(rng, 50)}}};
+    const auto exact = detail::exhaustive_subset(m);
+    const auto greedy = detail::greedy_subset(m);
+    if (exact.valid && greedy.valid) {
+      EXPECT_GE(greedy.gini + 1e-12, exact.gini);
+      EXPECT_LE(greedy.gini, exact.gini + 0.05);  // small card: near-exact
+    }
+  }
+}
+
+TEST(Categorical, DegenerateMatrixHasNoSplit) {
+  CountMatrix m(data::kELevel);
+  m.counts[2] = {{{10, 5}}};  // single populated value: nothing to split
+  auto best = best_categorical_split(m);
+  EXPECT_FALSE(best.valid);
+}
+
+// ---- gini lower bound: the SSE soundness property ----
+
+double brute_force_min_gini(const ClassCounts& before,
+                            const ClassCounts& inside,
+                            const ClassCounts& after) {
+  // Enumerate every integer apportionment of the interval counts.
+  double best = split_gini(before, inside + after);
+  for (std::int64_t t0 = 0; t0 <= inside[0]; ++t0) {
+    for (std::int64_t t1 = 0; t1 <= inside[1]; ++t1) {
+      ClassCounts l = before;
+      l[0] += t0;
+      l[1] += t1;
+      ClassCounts r = after;
+      r[0] += inside[0] - t0;
+      r[1] += inside[1] - t1;
+      best = std::min(best, split_gini(l, r));
+    }
+  }
+  return best;
+}
+
+TEST(GiniLowerBound, NeverExceedsAnyDiscreteSplit) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    ClassCounts before{{{draw(rng, 30), draw(rng, 30)}}};
+    ClassCounts inside{{{draw(rng, 12), draw(rng, 12)}}};
+    ClassCounts after{{{draw(rng, 30), draw(rng, 30)}}};
+    const double bound = gini_lower_bound(before, inside, after);
+    const double brute = brute_force_min_gini(before, inside, after);
+    EXPECT_LE(bound, brute + 1e-12)
+        << "trial " << trial << " bound " << bound << " brute " << brute;
+  }
+}
+
+TEST(GiniLowerBound, TightWhenIntervalEmpty) {
+  const ClassCounts before{{{10, 3}}};
+  const ClassCounts inside{};
+  const ClassCounts after{{{2, 9}}};
+  EXPECT_DOUBLE_EQ(gini_lower_bound(before, inside, after),
+                   split_gini(before, after));
+}
+
+TEST(GiniLowerBound, ZeroWhenPerfectSeparationPossible) {
+  // All class-0 points can go left, all class-1 right.
+  const ClassCounts before{{{5, 0}}};
+  const ClassCounts inside{{{7, 9}}};
+  const ClassCounts after{{{0, 4}}};
+  EXPECT_DOUBLE_EQ(gini_lower_bound(before, inside, after), 0.0);
+}
+
+// ---- SS / SSE / direct equivalences ----
+
+std::vector<Record> random_records(std::size_t n, int function,
+                                   std::uint64_t seed) {
+  data::AgrawalGenerator gen(
+      {.function = function, .seed = seed, .label_noise = 0.05});
+  return gen.make_range(0, n);
+}
+
+TEST(Splitters, CollectStatsCountsEveryRecord) {
+  auto records = random_records(2000, 2, 5);
+  std::vector<Record> sample(records.begin(), records.begin() + 100);
+  auto stats = NodeStats::with_boundaries(sample, 20);
+  MemorySource src(records);
+  CostHooks hooks;
+  collect_stats(src, stats, hooks);
+  EXPECT_EQ(data::total(stats.counts), 2000);
+  for (int a = 0; a < data::kNumNumeric; ++a) {
+    EXPECT_EQ(data::total(stats.hists[a].total_counts()), 2000);
+  }
+  for (const auto& m : stats.cats) {
+    EXPECT_EQ(data::total(m.total()), 2000);
+  }
+}
+
+TEST(Splitters, SsBestIsAmongBoundaryGinis) {
+  auto records = random_records(3000, 2, 6);
+  std::vector<Record> sample(records.begin(), records.begin() + 200);
+  auto stats = NodeStats::with_boundaries(sample, 16);
+  MemorySource src(records);
+  CostHooks hooks;
+  collect_stats(src, stats, hooks);
+  auto best = ss_split(stats, hooks);
+  ASSERT_TRUE(best.valid);
+  EXPECT_GE(best.gini, 0.0);
+  EXPECT_LE(best.gini, gini(stats.counts) + 1e-12);
+}
+
+class SseEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SseEquivalence, SseMatchesDirectOptimum) {
+  // Because gini_lower_bound is a true lower bound, SSE must find a split
+  // with exactly the direct method's optimal gini, for ANY interval layout.
+  auto [function, q, n] = GetParam();
+  auto records =
+      random_records(static_cast<std::size_t>(n), function,
+                     static_cast<std::uint64_t>(function * 100 + q));
+  std::vector<Record> sample;
+  for (std::size_t i = 0; i < records.size(); i += 10) {
+    sample.push_back(records[i]);
+  }
+  auto stats = NodeStats::with_boundaries(sample, q);
+  MemorySource src(records);
+  CostHooks hooks;
+  collect_stats(src, stats, hooks);
+  SseDiag diag;
+  auto sse = sse_split(stats, src, hooks, &diag);
+  auto direct = direct_split(records, hooks);
+  ASSERT_TRUE(sse.valid);
+  ASSERT_TRUE(direct.valid);
+  EXPECT_NEAR(sse.gini, direct.gini, 1e-9)
+      << "q=" << q << " n=" << n << " f=" << function;
+  EXPECT_LE(diag.gini_final, diag.gini_boundary + 1e-12);
+  EXPECT_GE(diag.survival, 0.0);
+  EXPECT_LE(diag.survival, 1.0 * data::kNumNumeric);  // per-attr overlap
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SseEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 6),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(500, 3000)));
+
+TEST(Splitters, LargerQShrinksSurvival) {
+  auto records = random_records(5000, 2, 9);
+  std::vector<Record> sample;
+  for (std::size_t i = 0; i < records.size(); i += 5) {
+    sample.push_back(records[i]);
+  }
+  CostHooks hooks;
+  double survival_small_q = 0.0;
+  double survival_large_q = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const int q = pass == 0 ? 8 : 128;
+    auto stats = NodeStats::with_boundaries(sample, q);
+    MemorySource src(records);
+    collect_stats(src, stats, hooks);
+    SseDiag diag;
+    (void)sse_split(stats, src, hooks, &diag);
+    (pass == 0 ? survival_small_q : survival_large_q) = diag.survival;
+  }
+  EXPECT_LE(survival_large_q, survival_small_q + 1e-9);
+}
+
+TEST(Splitters, DirectOnSeparableDataIsPerfect) {
+  // Label = (age <= 50): one threshold separates perfectly.
+  std::vector<Record> records;
+  std::mt19937 rng(31);
+  for (int i = 0; i < 500; ++i) {
+    Record r{};
+    r.num[data::kAge] = static_cast<float>(rng() % 80);
+    r.label = r.num[data::kAge] <= 50.0f ? 0 : 1;
+    records.push_back(r);
+  }
+  CostHooks hooks;
+  auto best = direct_split(records, hooks);
+  ASSERT_TRUE(best.valid);
+  EXPECT_NEAR(best.gini, 0.0, 1e-12);
+  EXPECT_EQ(best.split.kind, Split::Kind::kNumeric);
+  EXPECT_EQ(static_cast<int>(best.split.attr), data::kAge);
+}
+
+TEST(Splitters, EmptyDataYieldsNoSplit) {
+  CostHooks hooks;
+  EXPECT_FALSE(direct_split({}, hooks).valid);
+}
+
+TEST(Splitters, SingleClassDataYieldsNoUsefulGain) {
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) {
+    Record r{};
+    r.num[data::kAge] = static_cast<float>(i);
+    r.label = 0;
+    records.push_back(r);
+  }
+  CostHooks hooks;
+  auto best = direct_split(records, hooks);
+  // A split may exist but cannot improve gini below 0 (already pure).
+  if (best.valid) {
+    EXPECT_DOUBLE_EQ(best.gini, 0.0);
+  }
+}
+
+TEST(Splitters, CostHooksAdvanceClock) {
+  mp::Clock clock;
+  CostHooks hooks{&clock, mp::Machine{}};
+  auto records = random_records(1000, 2, 13);
+  std::vector<Record> sample(records.begin(), records.begin() + 50);
+  auto stats = NodeStats::with_boundaries(sample, 10);
+  MemorySource src(records);
+  collect_stats(src, stats, hooks);
+  EXPECT_GT(clock.snapshot().compute_s, 0.0);
+  const double after_collect = clock.snapshot().compute_s;
+  (void)sse_split(stats, src, hooks);
+  EXPECT_GT(clock.snapshot().compute_s, after_collect);
+}
+
+}  // namespace
+}  // namespace pdc::clouds

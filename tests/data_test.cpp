@@ -1,0 +1,283 @@
+// Tests for the synthetic workload substrate: generator determinism, value
+// ranges, label functions, random distribution balance, and sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "data/agrawal.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "data/record.hpp"
+#include "io/scratch.hpp"
+
+namespace pdc::data {
+namespace {
+
+TEST(Record, LayoutIsPacked) {
+  EXPECT_EQ(sizeof(Record), 28u);
+  EXPECT_EQ(kNumAttributes, 9);
+  EXPECT_EQ(kNumClasses, 2);
+}
+
+TEST(Generator, DeterministicByIndex) {
+  AgrawalGenerator g({.function = 2, .seed = 99});
+  const Record a = g.make(12345);
+  const Record b = g.make(12345);
+  EXPECT_EQ(a, b);
+  // And independent of generation order.
+  (void)g.make(1);
+  EXPECT_EQ(g.make(12345), a);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  AgrawalGenerator g1({.function = 2, .seed = 1});
+  AgrawalGenerator g2({.function = 2, .seed = 2});
+  int same = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (g1.make(i) == g2.make(i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Generator, AttributeRanges) {
+  AgrawalGenerator g({.function = 2, .seed = 5});
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const Record r = g.make(i);
+    EXPECT_GE(r.num[kSalary], 20'000.0f);
+    EXPECT_LT(r.num[kSalary], 150'000.0f);
+    if (r.num[kSalary] >= 75'000.0f) {
+      EXPECT_EQ(r.num[kCommission], 0.0f);
+    } else {
+      EXPECT_GE(r.num[kCommission], 10'000.0f);
+      EXPECT_LT(r.num[kCommission], 75'000.0f);
+    }
+    EXPECT_GE(r.num[kAge], 20.0f);
+    EXPECT_LT(r.num[kAge], 80.0f);
+    EXPECT_GE(r.cat[kELevel], 0);
+    EXPECT_LT(r.cat[kELevel], kCatCardinality[kELevel]);
+    EXPECT_GE(r.cat[kCar], 0);
+    EXPECT_LT(r.cat[kCar], kCatCardinality[kCar]);
+    EXPECT_GE(r.cat[kZipcode], 0);
+    EXPECT_LT(r.cat[kZipcode], kCatCardinality[kZipcode]);
+    EXPECT_GE(r.num[kHYears], 1.0f);
+    EXPECT_LT(r.num[kHYears], 30.0f);
+    EXPECT_GE(r.num[kLoan], 0.0f);
+    EXPECT_LT(r.num[kLoan], 500'000.0f);
+    // hvalue depends on zipcode: in [0.5k, 1.5k]*100k for k = zip+1.
+    const double k = r.cat[kZipcode] + 1.0;
+    EXPECT_GE(r.num[kHValue], 0.5 * k * 100'000 - 1);
+    EXPECT_LE(r.num[kHValue], 1.5 * k * 100'000 + 1);
+  }
+}
+
+TEST(Generator, LabelsMatchGroundTruthFunction) {
+  for (int f = 1; f <= 10; ++f) {
+    AgrawalGenerator g({.function = f, .seed = 17});
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      const Record r = g.make(i);
+      EXPECT_EQ(r.label == 0, AgrawalGenerator::is_group_a(f, r))
+          << "function " << f << " record " << i;
+    }
+  }
+}
+
+TEST(Generator, Function2SemanticsSpotChecks) {
+  Record r{};
+  r.num[kAge] = 30;
+  r.num[kSalary] = 60'000;
+  EXPECT_TRUE(AgrawalGenerator::is_group_a(2, r));
+  r.num[kSalary] = 120'000;
+  EXPECT_FALSE(AgrawalGenerator::is_group_a(2, r));
+  r.num[kAge] = 50;
+  EXPECT_TRUE(AgrawalGenerator::is_group_a(2, r));
+  r.num[kAge] = 70;
+  EXPECT_FALSE(AgrawalGenerator::is_group_a(2, r));
+  r.num[kSalary] = 50'000;
+  EXPECT_TRUE(AgrawalGenerator::is_group_a(2, r));
+}
+
+TEST(Generator, BothClassesWellRepresented) {
+  for (int f : {1, 2, 3, 6, 7}) {
+    AgrawalGenerator g({.function = f, .seed = 3});
+    int a = 0;
+    const int n = 20'000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (g.make(i).label == 0) ++a;
+    }
+    const double frac = static_cast<double>(a) / n;
+    EXPECT_GT(frac, 0.05) << "function " << f;
+    EXPECT_LT(frac, 0.95) << "function " << f;
+  }
+}
+
+TEST(Generator, LabelNoiseFlipsApproximatelyThatFraction) {
+  AgrawalGenerator clean({.function = 2, .seed = 11, .label_noise = 0.0});
+  AgrawalGenerator noisy({.function = 2, .seed = 11, .label_noise = 0.1});
+  const int n = 50'000;
+  int flipped = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (clean.make(i).label != noisy.make(i).label) ++flipped;
+  }
+  const double frac = static_cast<double>(flipped) / n;
+  EXPECT_NEAR(frac, 0.1, 0.01);
+}
+
+TEST(Generator, PerturbationShiftsAttributesNotLabels) {
+  AgrawalGenerator clean({.function = 2, .seed = 15});
+  AgrawalGenerator blurred(
+      {.function = 2, .seed = 15, .perturbation = 0.05});
+  int moved = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const auto a = clean.make(i);
+    const auto b = blurred.make(i);
+    // Labels are assigned before perturbation: identical.
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.cat, b.cat);  // categorical attributes untouched
+    if (a.num != b.num) ++moved;
+    // Bounded shift: salary range 130k, 5% factor -> at most +-3250.
+    EXPECT_NEAR(a.num[kSalary], b.num[kSalary], 3250.0f);
+    EXPECT_NEAR(a.num[kAge], b.num[kAge], 1.5f);
+  }
+  EXPECT_GT(moved, 1900);  // perturbation actually does something
+}
+
+TEST(Generator, PerturbationBlursTheClassBoundary) {
+  // With perturbed attributes the (clean) label function applied to the
+  // perturbed values must disagree with the stored label occasionally.
+  AgrawalGenerator blurred(
+      {.function = 2, .seed = 19, .perturbation = 0.05});
+  int disagree = 0;
+  const int n = 10'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto r = blurred.make(i);
+    if ((r.label == 0) != AgrawalGenerator::is_group_a(2, r)) ++disagree;
+  }
+  EXPECT_GT(disagree, 20);
+  EXPECT_LT(disagree, n / 4);
+}
+
+TEST(Generator, InvalidConfigRejected) {
+  EXPECT_THROW(AgrawalGenerator({.function = 0}), std::invalid_argument);
+  EXPECT_THROW(AgrawalGenerator({.function = 11}), std::invalid_argument);
+  EXPECT_THROW(AgrawalGenerator({.function = 2, .seed = 1, .label_noise = 1.0}),
+               std::invalid_argument);
+}
+
+class PartitionP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionP, EveryRecordOwnedExactlyOnce) {
+  const int p = GetParam();
+  DatasetPartition part(10'000, p);
+  std::uint64_t covered = 0;
+  for (int r = 0; r < p; ++r) covered += part.count_of(r);
+  EXPECT_EQ(covered, 10'000u);
+}
+
+TEST_P(PartitionP, BalanceWithinAngluinValiantBound) {
+  const int p = GetParam();
+  const std::uint64_t n = 50'000;
+  DatasetPartition part(n, p);
+  const double expect = static_cast<double>(n) / p;
+  // Theorem 1: max bucket <= n/p + O(sqrt(n/p * log n)) w.h.p.
+  const double slack = 4.0 * std::sqrt(expect * std::log(double(n)));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_LT(static_cast<double>(part.count_of(r)), expect + slack);
+    EXPECT_GT(static_cast<double>(part.count_of(r)), expect - slack);
+  }
+}
+
+TEST_P(PartitionP, SubsetBalanceLemma2) {
+  // Lemma 2: any m-subset also spreads ~m/p per rank.  Use the subset
+  // "records with label 0" under function 2.
+  const int p = GetParam();
+  const std::uint64_t n = 50'000;
+  DatasetPartition part(n, p);
+  AgrawalGenerator g({.function = 2, .seed = 21});
+  std::vector<std::uint64_t> per_rank(static_cast<std::size_t>(p), 0);
+  std::uint64_t m = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (g.make(i).label == 0) {
+      ++m;
+      ++per_rank[static_cast<std::size_t>(part.owner_of(i))];
+    }
+  }
+  const double expect = static_cast<double>(m) / p;
+  const double slack = 4.0 * std::sqrt(expect * std::log(double(m)));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(static_cast<double>(per_rank[static_cast<std::size_t>(r)]),
+                expect, slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, PartitionP, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Sampler, RateIsRespected) {
+  Sampler s(0.05, 123);
+  const std::uint64_t n = 200'000;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (s.contains(i)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+}
+
+TEST(Sampler, FullRateTakesEverything) {
+  Sampler s(1.0);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(s.contains(i));
+}
+
+TEST(Dataset, MaterializedSlicesPartitionTheDataset) {
+  const int p = 4;
+  const std::uint64_t n = 2'000;
+  io::ScratchArena arena("data_test", p);
+  mp::CostModel cost{mp::Machine{}};
+  AgrawalGenerator gen({.function = 2, .seed = 9});
+  DatasetPartition part(n, p);
+
+  std::uint64_t total = 0;
+  std::set<float> salaries;  // proxy for record identity
+  for (int r = 0; r < p; ++r) {
+    mp::Clock clock;
+    io::LocalDisk disk(arena.rank_dir(r), &cost, &clock);
+    total += materialize_local_slice(gen, part, r, disk, "train.dat", 256);
+    auto recs = disk.read_file<Record>("train.dat");
+    for (const auto& rec : recs) salaries.insert(rec.num[kSalary]);
+  }
+  EXPECT_EQ(total, n);
+  // Salaries are floats from a 53-bit uniform draw; collisions are
+  // essentially impossible at this scale, so distinct salaries ~= records.
+  EXPECT_GT(salaries.size(), n - 5);
+}
+
+TEST(Dataset, LocalSampleMatchesSamplerAndOwner) {
+  const int p = 3;
+  const std::uint64_t n = 5'000;
+  AgrawalGenerator gen({.function = 2, .seed = 31});
+  DatasetPartition part(n, p);
+  Sampler sampler(0.1, 77);
+  std::size_t total_sample = 0;
+  for (int r = 0; r < p; ++r) {
+    auto local = draw_local_sample(gen, part, sampler, r);
+    total_sample += local.size();
+  }
+  std::size_t expected = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (sampler.contains(i)) ++expected;
+  }
+  EXPECT_EQ(total_sample, expected);
+}
+
+TEST(Dataset, TestSetDisjointFromTrainRange) {
+  AgrawalGenerator gen({.function = 2, .seed = 1});
+  auto test = make_test_set(gen, 1000, 100);
+  ASSERT_EQ(test.size(), 100u);
+  EXPECT_EQ(test[0], gen.make(1000));
+  EXPECT_EQ(test[99], gen.make(1099));
+}
+
+}  // namespace
+}  // namespace pdc::data

@@ -1,0 +1,348 @@
+// Tests for the generic parallel out-of-core divide-and-conquer framework:
+// LPT assignment, and the DcDriver under every strategy, using a simple
+// range-bisection problem whose invariants are easy to verify.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "dc/driver.hpp"
+#include "dc/lpt.hpp"
+#include "dc/problem.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc::dc {
+namespace {
+
+// ---- LPT ----
+
+TEST(Lpt, SingleTaskGoesToRankZero) {
+  auto a = lpt_assign({5.0}, 4);
+  EXPECT_EQ(a.owner[0], 0);
+  EXPECT_DOUBLE_EQ(a.makespan, 5.0);
+}
+
+TEST(Lpt, BalancesEqualTasks) {
+  auto a = lpt_assign(std::vector<double>(8, 1.0), 4);
+  std::vector<int> per_rank(4, 0);
+  for (int o : a.owner) ++per_rank[static_cast<std::size_t>(o)];
+  for (int c : per_rank) EXPECT_EQ(c, 2);
+  EXPECT_DOUBLE_EQ(a.balance, 1.0);
+}
+
+TEST(Lpt, LargeTasksSpreadFirst) {
+  // Classic LPT: {7,6,5,4,3} on 2 procs -> makespan 13 ({7,6} vs {5,4,3}
+  // would be 13/12; LPT gives 7+4=11? Let's just check optimality bound).
+  auto a = lpt_assign({7, 6, 5, 4, 3}, 2);
+  const double total = 25.0;
+  EXPECT_LT(a.makespan, total);  // actually parallel
+  // LPT guarantee: makespan <= (4/3 - 1/(3m)) * OPT; OPT >= total/2.
+  EXPECT_LE(a.makespan, (4.0 / 3.0) * (total / 2.0) + 1e-9);
+}
+
+TEST(Lpt, DeterministicTieBreaks) {
+  auto a = lpt_assign({2.0, 2.0, 2.0, 2.0}, 2);
+  auto b = lpt_assign({2.0, 2.0, 2.0, 2.0}, 2);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(Lpt, EmptyInput) {
+  auto a = lpt_assign({}, 4);
+  EXPECT_TRUE(a.owner.empty());
+  EXPECT_DOUBLE_EQ(a.makespan, 0.0);
+}
+
+// ---- A simple D&C problem: recursive range bisection over uint64 keys ----
+//
+// Leaf when global_n <= leaf_limit or all keys equal.  Split at the midpoint
+// of [min, max], which guarantees both children are non-empty.
+
+struct Outcome {
+  std::mutex mu;
+  std::vector<std::uint64_t> leaf_sizes;       // from on_leaf (rank 0 only)
+  std::vector<std::uint64_t> sequential_sizes; // from solve_sequential
+  std::uint64_t sequential_checksum = 0;
+  std::uint64_t leaf_checksum_unused = 0;
+};
+
+class BisectProblem final : public DcProblem<std::uint64_t> {
+ public:
+  BisectProblem(std::uint64_t leaf_limit, Outcome* outcome, int rank)
+      : leaf_limit_(leaf_limit), outcome_(outcome), rank_(rank) {}
+
+  std::vector<std::byte> local_stats(const Scan& scan,
+                                     const Task&) override {
+    Stats s;
+    scan([&](const std::uint64_t& v) {
+      s.n += 1;
+      s.lo = std::min(s.lo, v);
+      s.hi = std::max(s.hi, v);
+    });
+    return mp::to_bytes(s);
+  }
+
+  std::vector<std::byte> combine(std::vector<std::byte> a,
+                                 const std::vector<std::byte>& b) override {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    auto sa = mp::value_from_bytes<Stats>(a);
+    const auto sb = mp::value_from_bytes<Stats>(b);
+    sa.n += sb.n;
+    sa.lo = std::min(sa.lo, sb.lo);
+    sa.hi = std::max(sa.hi, sb.hi);
+    return mp::to_bytes(sa);
+  }
+
+  std::optional<Router> decide(mp::Comm&, const std::vector<std::byte>& blob,
+                               const Scan&, const Task& task) override {
+    const auto s = mp::value_from_bytes<Stats>(blob);
+    EXPECT_EQ(s.n, task.global_n);  // framework wired the sizes correctly
+    if (s.n <= leaf_limit_ || s.lo == s.hi) return std::nullopt;
+    const std::uint64_t mid = s.lo + (s.hi - s.lo) / 2;
+    return Router([mid](const std::uint64_t& v) { return v <= mid ? 0 : 1; });
+  }
+
+  void on_leaf(mp::Comm& comm, const Task& task) override {
+    if (comm.rank() == 0) {
+      std::lock_guard lock(outcome_->mu);
+      outcome_->leaf_sizes.push_back(task.global_n);
+    }
+  }
+
+  void solve_sequential(const Task& task,
+                        std::vector<std::uint64_t> data) override {
+    EXPECT_EQ(data.size(), task.global_n);  // owner got ALL the task's data
+    std::lock_guard lock(outcome_->mu);
+    outcome_->sequential_sizes.push_back(data.size());
+    for (auto v : data) outcome_->sequential_checksum += v;
+  }
+
+ private:
+  struct Stats {
+    std::uint64_t n = 0;
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+  };
+
+  std::uint64_t leaf_limit_;
+  Outcome* outcome_;
+  int rank_;
+};
+
+struct RunResult {
+  Outcome outcome;
+  DcReport report;
+  std::uint64_t input_checksum = 0;
+  std::uint64_t input_n = 0;
+  std::uintmax_t bytes_left_on_disk = 0;
+};
+
+void run_bisect(int p, Strategy strategy, std::uint64_t n,
+                std::uint64_t threshold, std::uint64_t leaf_limit,
+                RunResult& rr) {
+  io::ScratchArena arena("dc_test", p);
+  mp::Runtime rt(p);
+  std::mutex report_mu;
+
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    // Deterministic pseudo-random keys, hash-partitioned across ranks.
+    std::vector<std::uint64_t> mine;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = (i * 2654435761u) % 100'000;
+      if (i % static_cast<std::uint64_t>(p) ==
+          static_cast<std::uint64_t>(comm.rank())) {
+        mine.push_back(key);
+      }
+    }
+    disk.write_file<std::uint64_t>("root.dat", mine);
+    {
+      std::lock_guard lock(report_mu);
+      for (auto v : mine) rr.input_checksum += v;
+      rr.input_n += mine.size();
+    }
+
+    DcConfig cfg;
+    cfg.strategy = strategy;
+    cfg.small_threshold = threshold;
+    cfg.memory_bytes = 1 << 16;
+    DcDriver<std::uint64_t> driver(cfg, disk);
+    BisectProblem problem(leaf_limit, &rr.outcome, comm.rank());
+    const auto report = driver.run(comm, problem, "root.dat");
+    {
+      std::lock_guard lock(report_mu);
+      if (comm.rank() == 0) {
+        const auto redistributed = rr.report.records_redistributed;
+        rr.report = report;
+        rr.report.records_redistributed += redistributed;
+      } else {
+        // records_redistributed is a per-rank counter; aggregate it.
+        rr.report.records_redistributed += report.records_redistributed;
+      }
+    }
+  });
+  rr.bytes_left_on_disk = arena.bytes_on_disk();
+}
+
+class DriverStrategies : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(DriverStrategies, ConservesEveryRecord) {
+  RunResult rr;
+  run_bisect(/*p=*/4, GetParam(), /*n=*/4000, /*threshold=*/300,
+             /*leaf_limit=*/64, rr);
+  // Records end in data-parallel leaves or in sequentially-solved subtrees;
+  // together they must cover the input exactly.
+  const std::uint64_t leaf_total = std::accumulate(
+      rr.outcome.leaf_sizes.begin(), rr.outcome.leaf_sizes.end(),
+      std::uint64_t{0});
+  const std::uint64_t seq_total = std::accumulate(
+      rr.outcome.sequential_sizes.begin(), rr.outcome.sequential_sizes.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(leaf_total + seq_total, rr.input_n);
+}
+
+TEST_P(DriverStrategies, DataParallelLeavesRespectLeafLimit) {
+  RunResult rr;
+  run_bisect(4, GetParam(), 4000, 300, 64, rr);
+  // Every on_leaf fired by decide() has n <= leaf_limit or was an
+  // unsplittable run of equal keys; with 100k distinct key values and
+  // leaf_limit 64, equal-key leaves are also small.
+  for (auto s : rr.outcome.leaf_sizes) {
+    EXPECT_LE(s, 200u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DriverStrategies,
+                         ::testing::Values(Strategy::kDataParallel,
+                                           Strategy::kConcatenated,
+                                           Strategy::kTaskParallel,
+                                           Strategy::kMixed,
+                                           Strategy::kTaskGroups));
+
+TEST(Driver, TaskGroupsEndInSingletonSolves) {
+  RunResult rr;
+  run_bisect(4, Strategy::kTaskGroups, 4000, 0, 64, rr);
+  // Groups halve until singletons: with 4 ranks, recursion produces some
+  // group-level splits and exactly as many sequential solves as terminal
+  // groups reached (at least the 4 singletons of a full group tree, unless
+  // a branch bottomed out early as a leaf).
+  EXPECT_GT(rr.outcome.sequential_sizes.size(), 1u);
+  EXPECT_GT(rr.report.records_redistributed, 0u);
+}
+
+TEST(Driver, TaskGroupsConserveChecksum) {
+  RunResult rr;
+  run_bisect(8, Strategy::kTaskGroups, 5000, 0, 64, rr);
+  std::uint64_t leaf_checksum_missing = 0;  // leaves carry no checksum
+  (void)leaf_checksum_missing;
+  const std::uint64_t seq_total = std::accumulate(
+      rr.outcome.sequential_sizes.begin(), rr.outcome.sequential_sizes.end(),
+      std::uint64_t{0});
+  const std::uint64_t leaf_total = std::accumulate(
+      rr.outcome.leaf_sizes.begin(), rr.outcome.leaf_sizes.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(seq_total + leaf_total, rr.input_n);
+}
+
+TEST(Driver, MixedRedistributesChecksumExactly) {
+  RunResult rr;
+  run_bisect(4, Strategy::kMixed, 3000, 500, 32, rr);
+  EXPECT_GT(rr.report.small_tasks, 0u);
+  EXPECT_GT(rr.outcome.sequential_checksum, 0u);
+  // Sequentially-solved data is a subset of the input; combined with
+  // data-parallel leaves it conserves count (checked above).  Checksum of
+  // redistributed records must match what was shipped.
+  EXPECT_EQ(rr.report.records_redistributed,
+            std::accumulate(rr.outcome.sequential_sizes.begin(),
+                            rr.outcome.sequential_sizes.end(),
+                            std::uint64_t{0}));
+}
+
+TEST(Driver, TaskParallelSolvesEverythingSequentially) {
+  RunResult rr;
+  run_bisect(4, Strategy::kTaskParallel, 1000, 0, 32, rr);
+  EXPECT_EQ(rr.report.large_tasks, 0u);
+  EXPECT_EQ(rr.report.small_tasks, 1u);  // the root itself
+  ASSERT_EQ(rr.outcome.sequential_sizes.size(), 1u);
+  EXPECT_EQ(rr.outcome.sequential_sizes[0], rr.input_n);
+  EXPECT_EQ(rr.outcome.sequential_checksum, rr.input_checksum);
+}
+
+TEST(Driver, DataParallelNeverRedistributes) {
+  RunResult rr;
+  run_bisect(4, Strategy::kDataParallel, 2000, 500, 32, rr);
+  EXPECT_EQ(rr.report.small_tasks, 0u);
+  EXPECT_EQ(rr.report.records_redistributed, 0u);
+  EXPECT_TRUE(rr.outcome.sequential_sizes.empty());
+}
+
+TEST(Driver, ConcatenatedCountsLevels) {
+  RunResult rr;
+  run_bisect(4, Strategy::kConcatenated, 2000, 0, 32, rr);
+  EXPECT_GT(rr.report.levels, 2u);
+  EXPECT_GT(rr.report.large_tasks, 0u);
+}
+
+TEST(Driver, StrategiesAgreeOnLeafMultiset) {
+  // Data-parallel and concatenated must produce the same set of leaves —
+  // same decisions, different schedule.
+  RunResult a;
+  RunResult b;
+  run_bisect(4, Strategy::kDataParallel, 3000, 0, 50, a);
+  run_bisect(4, Strategy::kConcatenated, 3000, 0, 50, b);
+  auto sa = a.outcome.leaf_sizes;
+  auto sb = b.outcome.leaf_sizes;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Driver, ProcessorCountDoesNotChangeLeaves) {
+  RunResult a;
+  RunResult b;
+  run_bisect(2, Strategy::kDataParallel, 3000, 0, 50, a);
+  run_bisect(8, Strategy::kDataParallel, 3000, 0, 50, b);
+  auto sa = a.outcome.leaf_sizes;
+  auto sb = b.outcome.leaf_sizes;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Driver, CleansUpIntermediateFiles) {
+  RunResult rr;
+  run_bisect(4, Strategy::kMixed, 2000, 300, 32, rr);
+  // Only the 4 preserved root files may remain.
+  EXPECT_EQ(rr.bytes_left_on_disk, rr.input_n * sizeof(std::uint64_t));
+}
+
+TEST(Driver, EmptyInputIsOneEmptyLeaf) {
+  RunResult rr;
+  run_bisect(3, Strategy::kMixed, 0, 100, 10, rr);
+  EXPECT_EQ(rr.report.leaves, 1u);
+  EXPECT_TRUE(rr.outcome.sequential_sizes.empty());
+}
+
+TEST(Driver, SingleRankRunsAllStrategies) {
+  for (auto s : {Strategy::kDataParallel, Strategy::kConcatenated,
+                 Strategy::kTaskParallel, Strategy::kMixed}) {
+    RunResult rr;
+    run_bisect(1, s, 500, 100, 20, rr);
+    const std::uint64_t covered =
+        std::accumulate(rr.outcome.leaf_sizes.begin(),
+                        rr.outcome.leaf_sizes.end(), std::uint64_t{0}) +
+        std::accumulate(rr.outcome.sequential_sizes.begin(),
+                        rr.outcome.sequential_sizes.end(), std::uint64_t{0});
+    EXPECT_EQ(covered, rr.input_n);
+  }
+}
+
+}  // namespace
+}  // namespace pdc::dc

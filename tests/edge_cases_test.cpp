@@ -1,0 +1,218 @@
+// Edge-case coverage across modules: self-sends, empty payloads,
+// non-commutative scans, root-file ownership in the driver, LPT bounds on
+// random instances, and interval construction over awkward distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "clouds/intervals.hpp"
+#include "dc/driver.hpp"
+#include "dc/lpt.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc {
+namespace {
+
+// ---- mp edge cases ----
+
+TEST(MpEdge, SendToSelfRoundTrips) {
+  mp::Runtime rt(3);
+  rt.run([&](mp::Comm& comm) {
+    comm.send_value<int>(comm.rank(), 9, comm.rank() * 7);
+    EXPECT_EQ(comm.recv_value<int>(comm.rank(), 9), comm.rank() * 7);
+  });
+}
+
+TEST(MpEdge, EmptyPayloadDelivers) {
+  mp::Runtime rt(2);
+  rt.run([&](mp::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 3, {});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 3).empty());
+    }
+  });
+}
+
+TEST(MpEdge, AllToAllWithAllEmptyBlocks) {
+  mp::Runtime rt(4);
+  rt.run([&](mp::Comm& comm) {
+    std::vector<std::vector<int>> out(4);
+    const auto in = comm.all_to_all<int>(out);
+    for (const auto& part : in) EXPECT_TRUE(part.empty());
+  });
+}
+
+TEST(MpEdge, BroadcastFromNonzeroRoot) {
+  mp::Runtime rt(5);
+  rt.run([&](mp::Comm& comm) {
+    const double v = comm.broadcast_value<double>(3, comm.rank() * 1.5);
+    EXPECT_DOUBLE_EQ(v, 4.5);
+  });
+}
+
+TEST(MpEdge, PrefixSumWithNonCommutativeOp) {
+  // 2x2 integer matrix product: associative, NOT commutative.  The scan
+  // must fold strictly in rank order.
+  struct M2 {
+    std::int64_t a, b, c, d;
+  };
+  auto mul = [](M2 x, const M2& y) {
+    return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+              x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+  };
+  const int p = 4;
+  mp::Runtime rt(p);
+  rt.run([&](mp::Comm& comm) {
+    // Rank r contributes [[1, r+1], [0, 1]]; the ordered product has upper
+    // right entry 1+2+...+(rank+1).
+    const M2 mine{1, comm.rank() + 1, 0, 1};
+    const auto scan = comm.prefix_sum<M2>(mine, mul);
+    const std::int64_t r = comm.rank() + 1;
+    EXPECT_EQ(scan.b, r * (r + 1) / 2);
+    EXPECT_EQ(scan.a, 1);
+    EXPECT_EQ(scan.d, 1);
+  });
+}
+
+TEST(MpEdge, LargePayloadBroadcast) {
+  mp::Runtime rt(3);
+  rt.run([&](mp::Comm& comm) {
+    std::vector<std::uint64_t> big;
+    if (comm.rank() == 0) {
+      big.resize(200'000);
+      std::iota(big.begin(), big.end(), 0);
+    }
+    const auto got = comm.broadcast<std::uint64_t>(0, big);
+    ASSERT_EQ(got.size(), 200'000u);
+    EXPECT_EQ(got[123'456], 123'456u);
+  });
+}
+
+// ---- dc edge cases ----
+
+struct NoopProblem final : dc::DcProblem<std::uint64_t> {
+  std::vector<std::byte> local_stats(const Scan&, const dc::Task&) override {
+    return {};
+  }
+  std::vector<std::byte> combine(std::vector<std::byte> a,
+                                 const std::vector<std::byte>&) override {
+    return a;
+  }
+  std::optional<Router> decide(mp::Comm&, const std::vector<std::byte>&,
+                               const Scan&, const dc::Task&) override {
+    return std::nullopt;  // everything is a leaf
+  }
+  void solve_sequential(const dc::Task&, std::vector<std::uint64_t>) override {}
+};
+
+TEST(DcEdge, RootFileRemovedWhenNotPreserved) {
+  io::ScratchArena arena("dc_edge", 2);
+  mp::Runtime rt(2);
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    disk.write_file<std::uint64_t>("root.dat",
+                                   std::vector<std::uint64_t>{1, 2, 3});
+    dc::DcConfig cfg;
+    cfg.strategy = dc::Strategy::kDataParallel;
+    cfg.preserve_root_file = false;
+    dc::DcDriver<std::uint64_t> driver(cfg, disk);
+    NoopProblem problem;
+    const auto report = driver.run(comm, problem, "root.dat");
+    EXPECT_EQ(report.leaves, 1u);
+    EXPECT_FALSE(disk.exists("root.dat"));
+  });
+  EXPECT_EQ(arena.bytes_on_disk(), 0u);
+}
+
+TEST(DcEdge, LptMakespanWithinClassicBound) {
+  // LPT guarantee: makespan <= (4/3 - 1/(3m)) * OPT, and OPT >= max(total/m,
+  // max task).  Check the implied bound over random instances.
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = 1 + static_cast<int>(rng() % 8);
+    std::vector<double> costs(1 + rng() % 40);
+    double total = 0.0;
+    double largest = 0.0;
+    for (auto& c : costs) {
+      c = 1.0 + static_cast<double>(rng() % 1000);
+      total += c;
+      largest = std::max(largest, c);
+    }
+    const auto assign = dc::lpt_assign(costs, m);
+    // Provable list-scheduling bound: makespan <= total/m + (1-1/m)*max.
+    EXPECT_LE(assign.makespan,
+              total / m + (1.0 - 1.0 / m) * largest + 1e-9)
+        << "m=" << m << " tasks=" << costs.size();
+    // And never below the trivial lower bound.
+    EXPECT_GE(assign.makespan, std::max(total / m, largest) - 1e-9);
+    // Sanity: every task assigned a valid rank.
+    for (int owner : assign.owner) {
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, m);
+    }
+  }
+}
+
+// ---- clouds interval edge cases ----
+
+class IntervalDistributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalDistributions, EquiDepthBucketsAreBalanced) {
+  std::mt19937 rng(7 + GetParam());
+  std::vector<float> sample(20'000);
+  switch (GetParam()) {
+    case 0:  // uniform
+      for (auto& v : sample) {
+        v = static_cast<float>(rng() % 100'000) / 100.0f;
+      }
+      break;
+    case 1: {  // exponential-ish skew
+      std::exponential_distribution<float> e(0.5f);
+      for (auto& v : sample) v = e(rng);
+      break;
+    }
+    case 2: {  // bimodal
+      std::normal_distribution<float> lo(0.0f, 1.0f);
+      std::normal_distribution<float> hi(100.0f, 1.0f);
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        sample[i] = (i % 2 == 0) ? lo(rng) : hi(rng);
+      }
+      break;
+    }
+    default: {  // heavy ties
+      for (auto& v : sample) v = static_cast<float>(rng() % 7);
+      break;
+    }
+  }
+  const int q = 20;
+  const auto bounds = clouds::equi_depth_boundaries(sample, q);
+  // Count sample points per interval; for continuous distributions the
+  // buckets should be within 2x of the ideal (ties can merge buckets).
+  clouds::IntervalHist hist;
+  hist.bounds = bounds;
+  hist.reset_counts();
+  for (const float v : sample) hist.add(v, 0);
+  const double ideal =
+      static_cast<double>(sample.size()) / hist.interval_count();
+  if (GetParam() != 3) {  // ties make balance impossible by construction
+    for (const auto& f : hist.freq) {
+      EXPECT_LT(static_cast<double>(data::total(f)), 2.5 * ideal);
+    }
+  }
+  EXPECT_EQ(data::total(hist.total_counts()),
+            static_cast<std::int64_t>(sample.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IntervalDistributions,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,160 @@
+// End-to-end integration tests across the whole stack: generate → train
+// (pCLOUDS / pSPRINT, several modes) → prune → persist → reload → evaluate
+// in parallel, under noise, perturbation and memory pressure.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clouds/model_io.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/evaluate.hpp"
+#include "pclouds/pclouds.hpp"
+#include "sprint/sprint.hpp"
+
+namespace pdc {
+namespace {
+
+using data::AgrawalGenerator;
+using data::GeneratorConfig;
+using data::Record;
+
+struct PipelineResult {
+  double accuracy_raw = 0.0;
+  double accuracy_pruned = 0.0;
+  double accuracy_reloaded = 0.0;
+  std::size_t nodes_raw = 0;
+  std::size_t nodes_pruned = 0;
+};
+
+PipelineResult run_pipeline(int p, const GeneratorConfig& gen_cfg,
+                            std::uint64_t n, bool use_sprint,
+                            std::size_t memory_bytes) {
+  io::ScratchArena arena("integration", p);
+  mp::Runtime rt(p);
+  AgrawalGenerator gen(gen_cfg);
+  data::DatasetPartition part(n, p);
+  data::Sampler sampler(0.05, 4);
+  // Clean test set: same function, no label noise, same perturbation.
+  auto test_cfg = gen_cfg;
+  test_cfg.label_noise = 0.0;
+  AgrawalGenerator test_gen(test_cfg);
+  const auto test = data::make_test_set(test_gen, n, 2000);
+
+  PipelineResult out;
+  std::mutex mu;
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  2048);
+
+    clouds::DecisionTree tree;
+    if (use_sprint) {
+      sprint::SprintConfig cfg;
+      cfg.memory_bytes = memory_bytes;
+      sprint::SprintBuilder builder(cfg);
+      tree = builder.train(comm, disk, "train.dat");
+    } else {
+      const auto sample =
+          data::draw_local_sample(gen, part, sampler, comm.rank());
+      pclouds::PcloudsConfig cfg;
+      cfg.memory_bytes = memory_bytes;
+      cfg.clouds.q_root = 400;
+      tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+    }
+
+    // Parallel eval before pruning (strided test shares).
+    std::vector<Record> mine;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank());
+         i < test.size(); i += static_cast<std::size_t>(p)) {
+      mine.push_back(test[i]);
+    }
+    const auto raw = pclouds::pclouds_evaluate(comm, tree, mine);
+    const auto nodes_raw = tree.live_count();
+    pclouds::pclouds_prune(comm, tree);
+    const auto pruned = pclouds::pclouds_evaluate(comm, tree, mine);
+
+    if (comm.rank() == 0) {
+      // Persist, reload, re-evaluate sequentially.
+      const auto path = arena.rank_dir(0) / "model.bin";
+      clouds::save_tree(tree, path);
+      const auto reloaded = clouds::load_tree(path);
+      std::lock_guard lock(mu);
+      out.accuracy_raw = raw.accuracy();
+      out.accuracy_pruned = pruned.accuracy();
+      out.accuracy_reloaded = reloaded.accuracy(test);
+      out.nodes_raw = nodes_raw;
+      out.nodes_pruned = tree.live_count();
+    }
+  });
+  return out;
+}
+
+TEST(Integration, CleanDataPipeline) {
+  const auto r = run_pipeline(4, {.function = 2, .seed = 1}, 6000,
+                              /*use_sprint=*/false, 64 << 10);
+  EXPECT_GE(r.accuracy_raw, 0.93);
+  EXPECT_GE(r.accuracy_pruned, r.accuracy_raw - 0.02);
+  EXPECT_DOUBLE_EQ(r.accuracy_reloaded, r.accuracy_pruned);
+  EXPECT_LE(r.nodes_pruned, r.nodes_raw);
+}
+
+TEST(Integration, NoisyDataPrunesHard) {
+  const auto r = run_pipeline(
+      4, {.function = 2, .seed = 2, .label_noise = 0.15}, 6000, false,
+      64 << 10);
+  EXPECT_LT(r.nodes_pruned, r.nodes_raw / 2);  // noise inflates raw tree
+  EXPECT_GE(r.accuracy_pruned, r.accuracy_raw - 0.01);
+  EXPECT_GE(r.accuracy_pruned, 0.85);
+}
+
+TEST(Integration, PerturbedAttributesStillLearnable) {
+  const auto r = run_pipeline(
+      4, {.function = 2, .seed = 3, .perturbation = 0.05}, 6000, false,
+      64 << 10);
+  EXPECT_GE(r.accuracy_pruned, 0.90);
+}
+
+TEST(Integration, SprintPipeline) {
+  const auto r = run_pipeline(4, {.function = 2, .seed = 4}, 5000,
+                              /*use_sprint=*/true, 64 << 10);
+  EXPECT_GE(r.accuracy_pruned, 0.93);
+  EXPECT_DOUBLE_EQ(r.accuracy_reloaded, r.accuracy_pruned);
+}
+
+class IntegrationBudget : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntegrationBudget, BudgetNeverChangesResults) {
+  const auto tiny = run_pipeline(3, {.function = 6, .seed = 5}, 4000, false,
+                                 GetParam());
+  const auto roomy = run_pipeline(3, {.function = 6, .seed = 5}, 4000, false,
+                                  64 << 20);
+  EXPECT_EQ(tiny.nodes_raw, roomy.nodes_raw);
+  EXPECT_DOUBLE_EQ(tiny.accuracy_pruned, roomy.accuracy_pruned);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, IntegrationBudget,
+                         ::testing::Values(std::size_t{4} << 10,
+                                           std::size_t{16} << 10,
+                                           std::size_t{256} << 10));
+
+class IntegrationFunctions : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationFunctions, EveryGeneratorFunctionTrainsEndToEnd) {
+  const auto r = run_pipeline(2, {.function = GetParam(), .seed = 6}, 4000,
+                              false, 64 << 10);
+  EXPECT_GE(r.accuracy_pruned, 0.85) << "function " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, IntegrationFunctions,
+                         ::testing::Values(1, 3, 4, 5, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace pdc

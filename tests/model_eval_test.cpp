@@ -1,0 +1,184 @@
+// Tests for model persistence (save/load), subtree extract/graft
+// round-trips, parallel evaluation and parallel pruning.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "clouds/model_io.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/evaluate.hpp"
+#include "pclouds/pclouds.hpp"
+
+namespace pdc {
+namespace {
+
+using clouds::CloudsBuilder;
+using clouds::CloudsConfig;
+using clouds::DecisionTree;
+using data::AgrawalGenerator;
+using data::Record;
+
+std::vector<Record> dataset(std::size_t n, std::uint64_t seed) {
+  AgrawalGenerator gen({.function = 2, .seed = seed});
+  return gen.make_range(0, n);
+}
+
+struct TmpDir {
+  TmpDir() : arena("model_io", 1) {}
+  io::ScratchArena arena;
+  std::filesystem::path path(const std::string& name) const {
+    return arena.rank_dir(0) / name;
+  }
+};
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  auto train = dataset(3000, 7);
+  CloudsBuilder builder{CloudsConfig{}};
+  auto tree = builder.build(train);
+
+  TmpDir tmp;
+  clouds::save_tree(tree, tmp.path("model.bin"));
+  auto loaded = clouds::load_tree(tmp.path("model.bin"));
+  EXPECT_EQ(loaded.to_string(), tree.to_string());
+  auto test = dataset(500, 77);
+  EXPECT_DOUBLE_EQ(loaded.accuracy(test), tree.accuracy(test));
+}
+
+TEST(ModelIo, SingleLeafTree) {
+  DecisionTree tree(data::ClassCounts{{{3, 9}}});
+  TmpDir tmp;
+  clouds::save_tree(tree, tmp.path("leaf.bin"));
+  auto loaded = clouds::load_tree(tmp.path("leaf.bin"));
+  EXPECT_EQ(loaded.live_count(), 1u);
+  Record r{};
+  EXPECT_EQ(loaded.classify(r), 1);
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  TmpDir tmp;
+  EXPECT_THROW((void)clouds::load_tree(tmp.path("nope.bin")),
+               std::runtime_error);
+}
+
+TEST(ModelIo, RejectsCorruptMagic) {
+  TmpDir tmp;
+  {
+    std::FILE* f = std::fopen(tmp.path("bad.bin").c_str(), "wb");
+    const char junk[64] = "not a tree";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)clouds::load_tree(tmp.path("bad.bin")),
+               std::runtime_error);
+}
+
+TEST(Tree, ExtractGraftRoundTrip) {
+  auto train = dataset(3000, 11);
+  CloudsBuilder builder{CloudsConfig{}};
+  auto tree = builder.build(train);
+  ASSERT_GT(tree.live_count(), 3u);
+
+  // Extract a child subtree, graft it onto a fresh leaf, compare behaviour.
+  const auto& root = tree.node(tree.root());
+  ASSERT_FALSE(root.leaf);
+  const auto sub = tree.extract(root.left);
+
+  DecisionTree target(tree.node(root.left).counts);
+  target.graft(target.root(), sub);
+
+  auto test = dataset(1000, 111);
+  for (const auto& r : test) {
+    if (root.split.goes_left(r)) {
+      // Records that would route into the left subtree classify the same.
+      std::int32_t id = tree.root();
+      EXPECT_EQ(target.classify(r), [&] {
+        id = tree.node(id).left;
+        while (!tree.node(id).leaf) {
+          id = tree.node(id).split.goes_left(r) ? tree.node(id).left
+                                                : tree.node(id).right;
+        }
+        return tree.node(id).label;
+      }());
+    }
+  }
+}
+
+TEST(Tree, ExtractOfLeafIsOneNode) {
+  DecisionTree tree(data::ClassCounts{{{5, 1}}});
+  const auto sub = tree.extract(tree.root());
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_TRUE(sub[0].leaf);
+}
+
+TEST(Tree, GraftRejectsInternalTarget) {
+  auto train = dataset(1000, 13);
+  CloudsBuilder builder{CloudsConfig{}};
+  auto tree = builder.build(train);
+  ASSERT_FALSE(tree.node(tree.root()).leaf);
+  EXPECT_THROW(tree.graft(tree.root(), tree.extract(tree.root())),
+               std::logic_error);
+}
+
+TEST(ParallelEval, MatchesSequentialConfusion) {
+  const int p = 4;
+  const std::uint64_t n = 4000;
+  AgrawalGenerator gen({.function = 2, .seed = 5});
+  auto train = gen.make_range(0, n);
+  CloudsBuilder builder{CloudsConfig{}};
+  auto tree = builder.build(train);
+  const auto test = data::make_test_set(gen, n, 2000);
+  const auto reference = clouds::evaluate(tree, test);
+
+  mp::Runtime rt(p);
+  std::mutex mu;
+  clouds::Confusion combined{};
+  rt.run([&](mp::Comm& comm) {
+    // Strided shares of the test set.
+    std::vector<Record> mine;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank());
+         i < test.size(); i += p) {
+      mine.push_back(test[i]);
+    }
+    const auto conf = pclouds::pclouds_evaluate(comm, tree, mine);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      combined = conf;
+    }
+  });
+  EXPECT_EQ(combined.total(), reference.total());
+  EXPECT_EQ(combined.correct(), reference.correct());
+  EXPECT_DOUBLE_EQ(combined.accuracy(), reference.accuracy());
+}
+
+TEST(ParallelPrune, ReplicasStayIdentical) {
+  const int p = 3;
+  AgrawalGenerator gen({.function = 2, .seed = 9, .label_noise = 0.15});
+  auto train = gen.make_range(0, 3000);
+  CloudsBuilder builder{CloudsConfig{}};
+  auto tree = builder.build(train);
+  const auto unpruned = tree.live_count();
+
+  mp::Runtime rt(p);
+  std::mutex mu;
+  std::vector<std::string> texts(static_cast<std::size_t>(p));
+  rt.run([&](mp::Comm& comm) {
+    auto replica = tree;  // each rank prunes its own copy
+    const auto stats = pclouds::pclouds_prune(comm, replica);
+    EXPECT_EQ(stats.nodes_before, unpruned);
+    std::lock_guard lock(mu);
+    texts[static_cast<std::size_t>(comm.rank())] = replica.to_string();
+  });
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(texts[static_cast<std::size_t>(r)], texts[0]);
+  }
+}
+
+}  // namespace
+}  // namespace pdc

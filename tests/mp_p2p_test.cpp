@@ -1,0 +1,182 @@
+// Point-to-point messaging tests for the SPMD runtime: delivery, ordering,
+// wildcards, modeled-clock accounting, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mp/runtime.hpp"
+
+namespace pdc::mp {
+namespace {
+
+TEST(P2p, RingPassesAccumulatedSum) {
+  Runtime rt(5);
+  std::atomic<std::int64_t> observed{0};
+  rt.run([&](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    if (comm.rank() == 0) {
+      comm.send_value<std::int64_t>(next, 7, 1);
+      const auto total = comm.recv_value<std::int64_t>(comm.size() - 1, 7);
+      observed.store(total);
+    } else {
+      const auto sofar = comm.recv_value<std::int64_t>(comm.rank() - 1, 7);
+      comm.send_value<std::int64_t>(next, 7, sofar + 1);
+    }
+  });
+  EXPECT_EQ(observed.load(), 5);
+}
+
+TEST(P2p, VectorsRoundTrip) {
+  Runtime rt(2);
+  rt.run([&](Comm& comm) {
+    std::vector<double> payload(1000);
+    std::iota(payload.begin(), payload.end(), 0.0);
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 3, payload);
+    } else {
+      auto got = comm.recv<double>(0, 3);
+      ASSERT_EQ(got.size(), payload.size());
+      EXPECT_EQ(got, payload);
+    }
+  });
+}
+
+TEST(P2p, MessagesFromSameSourceArriveInOrder) {
+  Runtime rt(2);
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 20; ++i) comm.send_value<int>(1, 1, i);
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 1), i);
+      }
+    }
+  });
+}
+
+TEST(P2p, TagsSelectMessages) {
+  Runtime rt(2);
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, /*tag=*/10, 100);
+      comm.send_value<int>(1, /*tag=*/20, 200);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(P2p, AnySourceReportsActualSource) {
+  Runtime rt(4);
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<bool> seen(4, false);
+      for (int i = 0; i < 3; ++i) {
+        int src = -2;
+        const int v = comm.recv_value<int>(kAnySource, 5, &src);
+        EXPECT_EQ(v, src * 11);
+        seen[static_cast<std::size_t>(src)] = true;
+      }
+      EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+    } else {
+      comm.send_value<int>(0, 5, comm.rank() * 11);
+    }
+  });
+}
+
+TEST(P2p, SendChargesTauPlusMuM) {
+  Machine m;
+  Runtime rt(2, m);
+  auto report = rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> junk(1000);
+      comm.send<std::byte>(1, 0, junk);
+    } else {
+      (void)comm.recv<std::byte>(0, 0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(report.clocks[0].comm_s, m.tau + m.mu * 1000.0);
+  // Receiver waits for arrival (idle) then pays receive overhead tau.
+  EXPECT_DOUBLE_EQ(report.clocks[1].comm_s, m.tau);
+  EXPECT_DOUBLE_EQ(report.clocks[1].idle_s, m.tau + m.mu * 1000.0);
+}
+
+TEST(P2p, ReceiverAheadOfSenderAccruesNoIdle) {
+  Machine m;
+  Runtime rt(2, m);
+  auto report = rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 0, 1);
+    } else {
+      comm.clock().add_compute(10.0);  // receiver is already far ahead
+      (void)comm.recv_value<int>(0, 0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(report.clocks[1].idle_s, 0.0);
+}
+
+TEST(P2p, ExceptionOnOneRankPropagatesAndUnblocksOthers) {
+  Runtime rt(4);
+  EXPECT_THROW(rt.run([&](Comm& comm) {
+                 if (comm.rank() == 2) {
+                   throw std::runtime_error("boom");
+                 }
+                 // Everyone else blocks forever unless aborted.
+                 (void)comm.recv_value<int>(kAnySource, 9);
+               }),
+               std::runtime_error);
+}
+
+TEST(P2p, ExceptionInCollectivePropagates) {
+  Runtime rt(4);
+  EXPECT_THROW(rt.run([&](Comm& comm) {
+                 if (comm.rank() == 0) throw std::logic_error("bad");
+                 comm.barrier();
+               }),
+               std::logic_error);
+}
+
+TEST(P2p, ProbeSeesPendingMessage) {
+  Runtime rt(2);
+  rt.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 4, 42);
+    } else {
+      EXPECT_FALSE(comm.probe(0, 99));
+      (void)comm.recv_value<int>(0, 4);
+      EXPECT_FALSE(comm.probe(0, 4));
+    }
+  });
+}
+
+TEST(Runtime, RejectsNonPositiveProcessorCount) {
+  EXPECT_THROW(Runtime(0), std::invalid_argument);
+  EXPECT_THROW(Runtime(-3), std::invalid_argument);
+}
+
+TEST(Runtime, ReportBalanceIsOneWhenUniform) {
+  Runtime rt(4);
+  auto report = rt.run([&](Comm& comm) { comm.clock().add_compute(2.0); });
+  EXPECT_DOUBLE_EQ(report.balance(), 1.0);
+  EXPECT_DOUBLE_EQ(report.max_compute(), 2.0);
+  EXPECT_DOUBLE_EQ(report.parallel_time(), 2.0);
+}
+
+TEST(Runtime, ReportBalanceDropsWhenSkewed) {
+  Runtime rt(4);
+  auto report = rt.run([&](Comm& comm) {
+    comm.clock().add_compute(comm.rank() == 0 ? 4.0 : 1.0);
+  });
+  // mean busy = (4+1+1+1)/4 = 1.75, max = 4.
+  EXPECT_DOUBLE_EQ(report.balance(), 1.75 / 4.0);
+}
+
+}  // namespace
+}  // namespace pdc::mp

@@ -1,0 +1,141 @@
+// Tests for the parallel sample sort substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "mp/runtime.hpp"
+#include "mp/sort.hpp"
+
+namespace pdc::mp {
+namespace {
+
+struct SortOutcome {
+  std::mutex mu;
+  std::vector<std::vector<std::uint64_t>> per_rank;
+};
+
+void run_sort(int p, std::size_t n_per_rank, std::uint64_t seed,
+              SortOutcome& out) {
+  out.per_rank.assign(static_cast<std::size_t>(p), {});
+  Runtime rt(p);
+  rt.run([&](Comm& comm) {
+    std::mt19937_64 rng(seed + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::uint64_t> local(n_per_rank);
+    for (auto& v : local) v = rng() % 1'000'000;
+    auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+    std::lock_guard lock(out.mu);
+    out.per_rank[static_cast<std::size_t>(comm.rank())] = std::move(sorted);
+  });
+}
+
+class SampleSortP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleSortP, GloballySortedAndConserving) {
+  const int p = GetParam();
+  SortOutcome out;
+  run_sort(p, 5000, 42, out);
+
+  std::vector<std::uint64_t> flattened;
+  for (const auto& part : out.per_rank) {
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+    if (!flattened.empty() && !part.empty()) {
+      EXPECT_LE(flattened.back(), part.front());  // rank-contiguous ranges
+    }
+    flattened.insert(flattened.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(flattened.size(), static_cast<std::size_t>(p) * 5000);
+  EXPECT_TRUE(std::is_sorted(flattened.begin(), flattened.end()));
+
+  // Conservation: the multiset equals the inputs (regenerate them).
+  std::vector<std::uint64_t> expected;
+  for (int r = 0; r < p; ++r) {
+    std::mt19937_64 rng(42 + static_cast<std::uint64_t>(r));
+    for (std::size_t i = 0; i < 5000; ++i) expected.push_back(rng() % 1'000'000);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(flattened, expected);
+}
+
+TEST_P(SampleSortP, ReasonableBalance) {
+  const int p = GetParam();
+  if (p == 1) return;
+  SortOutcome out;
+  run_sort(p, 20'000, 7, out);
+  const double ideal = 20'000.0;
+  for (const auto& part : out.per_rank) {
+    EXPECT_LT(static_cast<double>(part.size()), 2.5 * ideal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SampleSortP, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(SampleSort, EmptyInputs) {
+  Runtime rt(4);
+  rt.run([&](Comm& comm) {
+    auto sorted =
+        sample_sort(comm, std::vector<std::uint64_t>{}, std::less<>{});
+    EXPECT_TRUE(sorted.empty());
+  });
+}
+
+TEST(SampleSort, SkewedInputsStillSortCorrectly) {
+  // All data on one rank.
+  Runtime rt(4);
+  std::mutex mu;
+  std::vector<std::size_t> sizes(4, 0);
+  std::uint64_t total = 0;
+  rt.run([&](Comm& comm) {
+    std::vector<std::uint64_t> local;
+    if (comm.rank() == 2) {
+      local.resize(8000);
+      std::iota(local.rbegin(), local.rend(), 0);  // reverse order
+    }
+    auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    std::lock_guard lock(mu);
+    sizes[static_cast<std::size_t>(comm.rank())] = sorted.size();
+    total += sorted.size();
+  });
+  EXPECT_EQ(total, 8000u);
+}
+
+TEST(SampleSort, DuplicateHeavyKeys) {
+  Runtime rt(4);
+  std::mutex mu;
+  std::uint64_t total = 0;
+  rt.run([&](Comm& comm) {
+    std::vector<std::uint64_t> local(3000,
+                                     static_cast<std::uint64_t>(comm.rank() % 2));
+    auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    std::lock_guard lock(mu);
+    total += sorted.size();
+  });
+  EXPECT_EQ(total, 12'000u);
+}
+
+TEST(SampleSort, CustomComparatorDescending) {
+  Runtime rt(3);
+  std::mutex mu;
+  std::vector<std::vector<int>> parts(3);
+  rt.run([&](Comm& comm) {
+    std::vector<int> local = {comm.rank() * 3, comm.rank() * 3 + 1,
+                              comm.rank() * 3 + 2};
+    auto sorted = sample_sort(comm, std::move(local), std::greater<>{});
+    std::lock_guard lock(mu);
+    parts[static_cast<std::size_t>(comm.rank())] = std::move(sorted);
+  });
+  std::vector<int> flat;
+  for (const auto& p : parts) flat.insert(flat.end(), p.begin(), p.end());
+  EXPECT_TRUE(std::is_sorted(flat.begin(), flat.end(), std::greater<>{}));
+  EXPECT_EQ(flat.size(), 9u);
+}
+
+}  // namespace
+}  // namespace pdc::mp

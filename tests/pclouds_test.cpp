@@ -1,0 +1,386 @@
+// Integration tests for pCLOUDS: processor-count invariance, combiner
+// equivalence, accuracy against sequential CLOUDS, small-node grafting,
+// modeled speedup sanity and I/O balance.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "clouds/metrics.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+#include "pclouds/problem.hpp"
+
+namespace pdc::pclouds {
+namespace {
+
+using data::AgrawalGenerator;
+using data::Record;
+
+struct TrainRun {
+  std::string tree_text;
+  double test_accuracy = 0.0;
+  double parallel_time = 0.0;
+  mp::SpmdReport spmd;
+  PcloudsDiag diag_rank0;
+  std::uint64_t alive_points_total = 0;
+  std::size_t small_subtrees_total = 0;
+  std::vector<io::IoStats> io_per_rank;
+  std::size_t tree_nodes = 0;
+};
+
+struct TrainParams {
+  int p = 4;
+  std::uint64_t n = 8000;
+  int function = 2;
+  double sample_rate = 0.05;
+  PcloudsConfig cfg{};
+};
+
+TrainRun run_pclouds(const TrainParams& params) {
+  io::ScratchArena arena("pclouds_test", params.p);
+  mp::Runtime rt(params.p);
+  AgrawalGenerator gen({.function = params.function, .seed = 5});
+  data::DatasetPartition part(params.n, params.p);
+  data::Sampler sampler(params.sample_rate, 99);
+  const auto test = data::make_test_set(gen, params.n, 2000);
+
+  TrainRun out;
+  out.io_per_rank.resize(static_cast<std::size_t>(params.p));
+  std::mutex mu;
+
+  out.spmd = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  1024);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+
+    PcloudsDiag diag;
+    auto tree = pclouds_train(comm, params.cfg, disk, "train.dat", sample,
+                              &diag);
+    std::lock_guard lock(mu);
+    out.alive_points_total += diag.alive_points_shipped;
+    out.small_subtrees_total += diag.small_subtrees_local;
+    out.io_per_rank[static_cast<std::size_t>(comm.rank())] = disk.stats();
+    if (comm.rank() == 0) {
+      out.tree_text = tree.to_string();
+      out.test_accuracy = tree.accuracy(test);
+      out.diag_rank0 = diag;
+      out.tree_nodes = tree.live_count();
+    } else {
+      // Cross-rank replica check happens in the dedicated test below.
+    }
+  });
+  out.parallel_time = out.spmd.parallel_time();
+  return out;
+}
+
+PcloudsConfig base_cfg() {
+  PcloudsConfig cfg;
+  cfg.clouds.method = clouds::SplitMethod::kSSE;
+  cfg.clouds.q_root = 400;
+  cfg.memory_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(Pclouds, LearnsFunction2Accurately) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.93);
+  EXPECT_GT(run.tree_nodes, 3u);
+}
+
+TEST(Pclouds, TreeReplicasIdenticalOnAllRanks) {
+  io::ScratchArena arena("pclouds_repl", 4);
+  mp::Runtime rt(4);
+  AgrawalGenerator gen({.function = 2, .seed = 5});
+  data::DatasetPartition part(4000, 4);
+  data::Sampler sampler(0.05, 99);
+
+  std::mutex mu;
+  std::vector<std::string> texts(4);
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  1024);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+    auto tree = pclouds_train(comm, base_cfg(), disk, "train.dat", sample);
+    std::lock_guard lock(mu);
+    texts[static_cast<std::size_t>(comm.rank())] = tree.to_string();
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(texts[static_cast<std::size_t>(r)], texts[0]) << "rank " << r;
+  }
+}
+
+class PcloudsProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcloudsProcs, TreeInvariantToProcessorCount) {
+  TrainParams ref;
+  ref.p = 1;
+  ref.cfg = base_cfg();
+  const auto baseline = run_pclouds(ref);
+
+  TrainParams alt = ref;
+  alt.p = GetParam();
+  const auto run = run_pclouds(alt);
+  EXPECT_EQ(run.tree_text, baseline.tree_text)
+      << "p=" << GetParam() << " changed the tree";
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, PcloudsProcs, ::testing::Values(2, 3, 4, 8));
+
+class PcloudsCombiners : public ::testing::TestWithParam<CombineMethod> {};
+
+TEST_P(PcloudsCombiners, AllCombinersAgreeOnTheTree) {
+  TrainParams ref;
+  ref.cfg = base_cfg();
+  ref.cfg.combiner = CombineMethod::kReplicationAttribute;
+  const auto baseline = run_pclouds(ref);
+
+  TrainParams alt = ref;
+  alt.cfg.combiner = GetParam();
+  const auto run = run_pclouds(alt);
+  EXPECT_EQ(run.tree_text, baseline.tree_text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combiners, PcloudsCombiners,
+                         ::testing::Values(CombineMethod::kReplicationAttribute,
+                                           CombineMethod::kReplicationInterval,
+                                           CombineMethod::kReplicationHybrid,
+                                           CombineMethod::kDistributed));
+
+TEST(Pclouds, SsMethodAlsoLearns) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.clouds.method = clouds::SplitMethod::kSS;
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.90);
+  EXPECT_EQ(run.alive_points_total, 0u);  // SS never runs the second pass
+}
+
+TEST(Pclouds, MatchesSequentialCloudsAccuracy) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  const auto run = run_pclouds(p);
+
+  AgrawalGenerator gen({.function = 2, .seed = 5});
+  auto train = gen.make_range(0, p.n);
+  const auto test = data::make_test_set(gen, p.n, 2000);
+  clouds::CloudsConfig scfg = p.cfg.clouds;
+  clouds::CloudsBuilder seq(scfg);
+  auto tree = seq.build(train);
+  EXPECT_NEAR(run.test_accuracy, tree.accuracy(test), 0.02);
+}
+
+TEST(Pclouds, SmallNodePhaseBuildsAndGraftsSubtrees) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  // Aggressive threshold: most of the tree is built by the small phase.
+  p.cfg.small_threshold_records = 2000;
+  const auto run = run_pclouds(p);
+  EXPECT_GT(run.small_subtrees_total, 0u);
+  EXPECT_GE(run.test_accuracy, 0.93);
+}
+
+TEST(Pclouds, ThresholdZeroKeepsEverythingDataParallel) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.small_threshold_records = 0;
+  p.cfg.interval_threshold = 0;
+  const auto run = run_pclouds(p);
+  EXPECT_EQ(run.small_subtrees_total, 0u);
+  EXPECT_GE(run.test_accuracy, 0.93);
+}
+
+TEST(Pclouds, PartitioningPrefillsChildStatistics) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.small_threshold_records = 0;
+  p.cfg.interval_threshold = 0;
+  const auto run = run_pclouds(p);
+  // Every non-root large node's stats pass is saved by the parent's
+  // partitioning (the paper's one-pass-per-node property).
+  EXPECT_GT(run.diag_rank0.prefilled_nodes, 0u);
+}
+
+TEST(Pclouds, SurvivalRatioShrinksWithMoreIntervals) {
+  // The survival ratio drives SSE's second-pass I/O; more intervals mean
+  // tighter gini bounds and fewer alive points (paper, Sec. 4.1/5.1.2).
+  TrainParams coarse;
+  coarse.cfg = base_cfg();
+  coarse.cfg.clouds.q_root = 20;
+  const auto run_coarse = run_pclouds(coarse);
+
+  TrainParams fine = coarse;
+  fine.cfg.clouds.q_root = 1000;
+  const auto run_fine = run_pclouds(fine);
+
+  EXPECT_GT(run_fine.diag_rank0.sse_nodes, 0u);
+  EXPECT_LT(run_fine.diag_rank0.mean_survival,
+            run_coarse.diag_rank0.mean_survival);
+}
+
+TEST(Pclouds, ModeledSpeedupOverOneProcessor) {
+  TrainParams seq;
+  seq.p = 1;
+  seq.n = 12'000;
+  seq.cfg = base_cfg();
+  const auto t1 = run_pclouds(seq);
+
+  TrainParams par = seq;
+  par.p = 8;
+  const auto t8 = run_pclouds(par);
+  const double speedup = t1.parallel_time / t8.parallel_time;
+  EXPECT_GT(speedup, 2.0) << "t1=" << t1.parallel_time
+                          << " t8=" << t8.parallel_time;
+}
+
+TEST(Pclouds, IoIsBalancedAcrossRanks) {
+  TrainParams p;
+  p.p = 4;
+  p.n = 12'000;
+  p.cfg = base_cfg();
+  const auto run = run_pclouds(p);
+  std::uint64_t max_bytes = 0;
+  std::uint64_t sum_bytes = 0;
+  for (const auto& s : run.io_per_rank) {
+    max_bytes = std::max<std::uint64_t>(max_bytes, s.total_bytes());
+    sum_bytes += s.total_bytes();
+  }
+  const double mean = static_cast<double>(sum_bytes) / 4.0;
+  EXPECT_GT(mean / static_cast<double>(max_bytes), 0.8);
+}
+
+TEST(Pclouds, StrategiesReachSimilarAccuracy) {
+  for (auto strategy : {dc::Strategy::kDataParallel, dc::Strategy::kMixed,
+                        dc::Strategy::kConcatenated}) {
+    TrainParams p;
+    p.cfg = base_cfg();
+    p.cfg.strategy = strategy;
+    const auto run = run_pclouds(p);
+    EXPECT_GE(run.test_accuracy, 0.92)
+        << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+TEST(Pclouds, SketchModeLearnsWithoutASample) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.boundaries = BoundarySource::kSketch;
+  p.sample_rate = 0.0;  // no sample drawn at all
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.93);
+  EXPECT_GT(run.tree_nodes, 3u);
+}
+
+TEST(Pclouds, SketchModeReplicasIdentical) {
+  io::ScratchArena arena("pclouds_sketch", 4);
+  mp::Runtime rt(4);
+  AgrawalGenerator gen({.function = 2, .seed = 5});
+  data::DatasetPartition part(4000, 4);
+
+  std::mutex mu;
+  std::vector<std::string> texts(4);
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  1024);
+    auto cfg = base_cfg();
+    cfg.boundaries = BoundarySource::kSketch;
+    auto tree = pclouds_train(comm, cfg, disk, "train.dat", {});
+    std::lock_guard lock(mu);
+    texts[static_cast<std::size_t>(comm.rank())] = tree.to_string();
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(texts[static_cast<std::size_t>(r)], texts[0]) << "rank " << r;
+  }
+}
+
+TEST(Pclouds, SketchModeWorksWithDistributedCombiner) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.boundaries = BoundarySource::kSketch;
+  p.cfg.combiner = CombineMethod::kDistributed;
+  p.sample_rate = 0.0;
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.93);
+}
+
+TEST(Pclouds, TaskGroupsBuildTheSameQualityTree) {
+  TrainParams p;
+  p.cfg = base_cfg();
+  p.cfg.strategy = dc::Strategy::kTaskGroups;
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.93);
+}
+
+TEST(Pclouds, TaskGroupsTreeReplicatedOnAllRanks) {
+  io::ScratchArena arena("pclouds_groups", 4);
+  mp::Runtime rt(4);
+  AgrawalGenerator gen({.function = 2, .seed = 5});
+  data::DatasetPartition part(4000, 4);
+  data::Sampler sampler(0.05, 99);
+
+  std::mutex mu;
+  std::vector<std::string> texts(4);
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  1024);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+    auto cfg = base_cfg();
+    cfg.strategy = dc::Strategy::kTaskGroups;
+    auto tree = pclouds_train(comm, cfg, disk, "train.dat", sample);
+    std::lock_guard lock(mu);
+    texts[static_cast<std::size_t>(comm.rank())] = tree.to_string();
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(texts[static_cast<std::size_t>(r)], texts[0]) << "rank " << r;
+  }
+}
+
+TEST(Pclouds, TaskParallelDegeneratesToSequentialButCorrect) {
+  TrainParams p;
+  p.n = 3000;
+  p.cfg = base_cfg();
+  p.cfg.strategy = dc::Strategy::kTaskParallel;
+  const auto run = run_pclouds(p);
+  EXPECT_GE(run.test_accuracy, 0.90);
+  EXPECT_EQ(run.small_subtrees_total, 1u);  // the whole tree on one rank
+}
+
+TEST(Pclouds, RejectsDirectMethodForLargeNodes) {
+  PcloudsConfig cfg;
+  cfg.clouds.method = clouds::SplitMethod::kDirect;
+  EXPECT_THROW(CloudsProblem(cfg, 100, {}, {}), std::invalid_argument);
+}
+
+TEST(Pclouds, DerivedThresholdFollowsQSchedule) {
+  PcloudsConfig cfg;
+  cfg.clouds.q_root = 10'000;
+  cfg.interval_threshold = 10;
+  // n <= root * 10 / 10000 -> 0.1% of the data, "a few percent" scale.
+  EXPECT_EQ(cfg.derived_small_threshold(6'000'000), 6'000u);
+  cfg.small_threshold_records = 12'345;
+  EXPECT_EQ(cfg.derived_small_threshold(6'000'000), 12'345u);
+}
+
+}  // namespace
+}  // namespace pdc::pclouds
