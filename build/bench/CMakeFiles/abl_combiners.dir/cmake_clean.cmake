@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_combiners.dir/abl_combiners.cpp.o"
+  "CMakeFiles/abl_combiners.dir/abl_combiners.cpp.o.d"
+  "abl_combiners"
+  "abl_combiners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_combiners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_machine.dir/abl_machine.cpp.o"
+  "CMakeFiles/abl_machine.dir/abl_machine.cpp.o.d"
+  "abl_machine"
+  "abl_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

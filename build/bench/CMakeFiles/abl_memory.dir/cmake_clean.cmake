@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memory.dir/abl_memory.cpp.o"
+  "CMakeFiles/abl_memory.dir/abl_memory.cpp.o.d"
+  "abl_memory"
+  "abl_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

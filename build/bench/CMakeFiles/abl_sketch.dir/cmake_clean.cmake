@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sketch.dir/abl_sketch.cpp.o"
+  "CMakeFiles/abl_sketch.dir/abl_sketch.cpp.o.d"
+  "abl_sketch"
+  "abl_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

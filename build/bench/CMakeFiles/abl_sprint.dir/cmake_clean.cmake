@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sprint.dir/abl_sprint.cpp.o"
+  "CMakeFiles/abl_sprint.dir/abl_sprint.cpp.o.d"
+  "abl_sprint"
+  "abl_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

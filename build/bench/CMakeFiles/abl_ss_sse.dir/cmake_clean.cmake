@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ss_sse.dir/abl_ss_sse.cpp.o"
+  "CMakeFiles/abl_ss_sse.dir/abl_ss_sse.cpp.o.d"
+  "abl_ss_sse"
+  "abl_ss_sse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ss_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_strategies.dir/abl_strategies.cpp.o"
+  "CMakeFiles/abl_strategies.dir/abl_strategies.cpp.o.d"
+  "abl_strategies"
+  "abl_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

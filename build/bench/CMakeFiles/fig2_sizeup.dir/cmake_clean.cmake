@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sizeup.dir/fig2_sizeup.cpp.o"
+  "CMakeFiles/fig2_sizeup.dir/fig2_sizeup.cpp.o.d"
+  "fig2_sizeup"
+  "fig2_sizeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sizeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

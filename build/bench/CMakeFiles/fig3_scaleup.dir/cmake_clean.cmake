@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scaleup.dir/fig3_scaleup.cpp.o"
+  "CMakeFiles/fig3_scaleup.dir/fig3_scaleup.cpp.o.d"
+  "fig3_scaleup"
+  "fig3_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

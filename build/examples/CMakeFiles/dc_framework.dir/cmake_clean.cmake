@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_framework.dir/dc_framework.cpp.o"
+  "CMakeFiles/dc_framework.dir/dc_framework.cpp.o.d"
+  "dc_framework"
+  "dc_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclouds_cli.dir/pclouds_cli.cpp.o"
+  "CMakeFiles/pclouds_cli.dir/pclouds_cli.cpp.o.d"
+  "pclouds_cli"
+  "pclouds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclouds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

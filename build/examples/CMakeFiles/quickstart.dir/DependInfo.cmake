@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pclouds/CMakeFiles/pdc_pclouds.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/pdc_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/clouds/CMakeFiles/pdc_clouds.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pdc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clouds/builder.cpp" "src/clouds/CMakeFiles/pdc_clouds.dir/builder.cpp.o" "gcc" "src/clouds/CMakeFiles/pdc_clouds.dir/builder.cpp.o.d"
+  "/root/repo/src/clouds/prune.cpp" "src/clouds/CMakeFiles/pdc_clouds.dir/prune.cpp.o" "gcc" "src/clouds/CMakeFiles/pdc_clouds.dir/prune.cpp.o.d"
+  "/root/repo/src/clouds/splitters.cpp" "src/clouds/CMakeFiles/pdc_clouds.dir/splitters.cpp.o" "gcc" "src/clouds/CMakeFiles/pdc_clouds.dir/splitters.cpp.o.d"
+  "/root/repo/src/clouds/tree.cpp" "src/clouds/CMakeFiles/pdc_clouds.dir/tree.cpp.o" "gcc" "src/clouds/CMakeFiles/pdc_clouds.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/pdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pdc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

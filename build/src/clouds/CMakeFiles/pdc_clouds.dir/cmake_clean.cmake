@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_clouds.dir/builder.cpp.o"
+  "CMakeFiles/pdc_clouds.dir/builder.cpp.o.d"
+  "CMakeFiles/pdc_clouds.dir/prune.cpp.o"
+  "CMakeFiles/pdc_clouds.dir/prune.cpp.o.d"
+  "CMakeFiles/pdc_clouds.dir/splitters.cpp.o"
+  "CMakeFiles/pdc_clouds.dir/splitters.cpp.o.d"
+  "CMakeFiles/pdc_clouds.dir/tree.cpp.o"
+  "CMakeFiles/pdc_clouds.dir/tree.cpp.o.d"
+  "libpdc_clouds.a"
+  "libpdc_clouds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_clouds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

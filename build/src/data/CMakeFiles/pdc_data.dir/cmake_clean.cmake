@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_data.dir/agrawal.cpp.o"
+  "CMakeFiles/pdc_data.dir/agrawal.cpp.o.d"
+  "libpdc_data.a"
+  "libpdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_io.dir/scratch.cpp.o"
+  "CMakeFiles/pdc_io.dir/scratch.cpp.o.d"
+  "libpdc_io.a"
+  "libpdc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_pclouds.dir/alive.cpp.o"
+  "CMakeFiles/pdc_pclouds.dir/alive.cpp.o.d"
+  "CMakeFiles/pdc_pclouds.dir/combiners.cpp.o"
+  "CMakeFiles/pdc_pclouds.dir/combiners.cpp.o.d"
+  "CMakeFiles/pdc_pclouds.dir/pclouds.cpp.o"
+  "CMakeFiles/pdc_pclouds.dir/pclouds.cpp.o.d"
+  "CMakeFiles/pdc_pclouds.dir/problem.cpp.o"
+  "CMakeFiles/pdc_pclouds.dir/problem.cpp.o.d"
+  "libpdc_pclouds.a"
+  "libpdc_pclouds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_pclouds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_sprint.dir/sprint.cpp.o"
+  "CMakeFiles/pdc_sprint.dir/sprint.cpp.o.d"
+  "libpdc_sprint.a"
+  "libpdc_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_builder_test.dir/clouds_builder_test.cpp.o"
+  "CMakeFiles/clouds_builder_test.dir/clouds_builder_test.cpp.o.d"
+  "clouds_builder_test"
+  "clouds_builder_test.pdb"
+  "clouds_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

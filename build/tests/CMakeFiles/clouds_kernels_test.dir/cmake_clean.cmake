@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_kernels_test.dir/clouds_kernels_test.cpp.o"
+  "CMakeFiles/clouds_kernels_test.dir/clouds_kernels_test.cpp.o.d"
+  "clouds_kernels_test"
+  "clouds_kernels_test.pdb"
+  "clouds_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_test.dir/dc_test.cpp.o"
+  "CMakeFiles/dc_test.dir/dc_test.cpp.o.d"
+  "dc_test"
+  "dc_test.pdb"
+  "dc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

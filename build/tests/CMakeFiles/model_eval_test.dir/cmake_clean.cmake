@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_eval_test.dir/model_eval_test.cpp.o"
+  "CMakeFiles/model_eval_test.dir/model_eval_test.cpp.o.d"
+  "model_eval_test"
+  "model_eval_test.pdb"
+  "model_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sort_test.dir/mp_sort_test.cpp.o"
+  "CMakeFiles/mp_sort_test.dir/mp_sort_test.cpp.o.d"
+  "mp_sort_test"
+  "mp_sort_test.pdb"
+  "mp_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclouds_combiners_test.dir/pclouds_combiners_test.cpp.o"
+  "CMakeFiles/pclouds_combiners_test.dir/pclouds_combiners_test.cpp.o.d"
+  "pclouds_combiners_test"
+  "pclouds_combiners_test.pdb"
+  "pclouds_combiners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclouds_combiners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_sketch_test.dir/quantile_sketch_test.cpp.o"
+  "CMakeFiles/quantile_sketch_test.dir/quantile_sketch_test.cpp.o.d"
+  "quantile_sketch_test"
+  "quantile_sketch_test.pdb"
+  "quantile_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprint_test.dir/sprint_test.cpp.o"
+  "CMakeFiles/sprint_test.dir/sprint_test.cpp.o.d"
+  "sprint_test"
+  "sprint_test.pdb"
+  "sprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

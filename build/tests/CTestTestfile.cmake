@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mp_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/clouds_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/clouds_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/dc_test[1]_include.cmake")
+include("/root/repo/build/tests/pclouds_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_split_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/sprint_test[1]_include.cmake")
+include("/root/repo/build/tests/model_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/pclouds_combiners_test[1]_include.cmake")
+include("/root/repo/build/tests/quantile_sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
