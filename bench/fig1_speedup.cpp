@@ -31,6 +31,8 @@ int main() {
       params.p = p;
       params.records = n;
       params.cfg = paper_config(n);
+      params.label = "fig1/speedup/n=" + std::to_string(n) +
+                     "/p=" + std::to_string(p);
       times.push_back(run_experiment(params).parallel_time);
     }
     std::printf("%10llu |", static_cast<unsigned long long>(n));

@@ -26,6 +26,7 @@ int main() {
     params.p = 1;
     params.records = n;
     params.cfg = paper_config(n);
+    params.label = "fig2/sizeup/n=" + std::to_string(n) + "/p=1";
     t1[n] = run_experiment(params).parallel_time;
   }
 
@@ -40,6 +41,8 @@ int main() {
       params.p = p;
       params.records = n;
       params.cfg = paper_config(n);
+      params.label = "fig2/sizeup/n=" + std::to_string(n) +
+                     "/p=" + std::to_string(p);
       const auto r = run_experiment(params);
       std::printf(" %5.2fx |", t1[n] / r.parallel_time);
     }

@@ -37,6 +37,8 @@ int main() {
       params.records = density * static_cast<std::uint64_t>(p);
       params.cfg = paper_config(params.records);
       params.cfg.memory_bytes = per_rank_budget;
+      params.label = "fig3/scaleup/density=" + std::to_string(density) +
+                     "/p=" + std::to_string(p);
       const auto r = run_experiment(params);
       std::printf(" %7.2fs |", r.parallel_time);
     }

@@ -17,6 +17,7 @@
 // (see EXPERIMENTS.md).
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
@@ -26,6 +27,7 @@
 #include "data/dataset.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
+#include "obs/json.hpp"
 #include "pclouds/pclouds.hpp"
 
 namespace pdc::bench {
@@ -55,6 +57,9 @@ struct ExpParams {
   std::uint64_t test_records = 0;  ///< 0: skip accuracy evaluation
   pclouds::PcloudsConfig cfg{};
   mp::Machine machine = scaled_machine();
+  /// Experiment-point label carried into the PDC_BENCH_JSON row (e.g.
+  /// "fig1/speedup/p=8").  Empty labels still emit a row.
+  std::string label;
 };
 
 struct ExpResult {
@@ -99,6 +104,8 @@ inline std::uint64_t scaled(std::uint64_t records) {
   }
   return records;
 }
+
+inline void emit_json_row(const ExpParams& params, const ExpResult& r);
 
 inline ExpResult run_experiment(const ExpParams& params) {
   io::ScratchArena arena("bench", params.p);
@@ -148,7 +155,42 @@ inline ExpResult run_experiment(const ExpParams& params) {
   out.max_comm = report.max_comm();
   out.max_io = report.max_io();
   out.balance = report.balance();
+  emit_json_row(params, out);
   return out;
+}
+
+/// When PDC_BENCH_JSON names a file, every experiment point appends one
+/// JSON object (JSONL) so suites can be post-processed without scraping the
+/// human-readable tables.
+inline void emit_json_row(const ExpParams& params, const ExpResult& r) {
+  const char* path = std::getenv("PDC_BENCH_JSON");
+  if (!path || !*path) return;
+  std::string row = "{";
+  row += "\"label\": \"" + obs::json_escape(params.label) + "\"";
+  row += ", \"p\": " + std::to_string(params.p);
+  row += ", \"records\": " + std::to_string(params.records);
+  row += ", \"function\": " + std::to_string(params.function);
+  row += ", \"parallel_time_s\": " + obs::json_number(r.parallel_time);
+  row += ", \"max_compute_s\": " + obs::json_number(r.max_compute);
+  row += ", \"max_comm_s\": " + obs::json_number(r.max_comm);
+  row += ", \"max_io_s\": " + obs::json_number(r.max_io);
+  row += ", \"balance\": " + obs::json_number(r.balance);
+  row += ", \"bytes_read\": " + std::to_string(r.bytes_read);
+  row += ", \"bytes_written\": " + std::to_string(r.bytes_written);
+  row += ", \"io_ops\": " + std::to_string(r.io_ops);
+  row += ", \"records_redistributed\": " +
+         std::to_string(r.records_redistributed);
+  row += ", \"tree_nodes\": " + std::to_string(r.tree_nodes);
+  if (r.accuracy >= 0.0) {
+    row += ", \"accuracy\": " + obs::json_number(r.accuracy);
+  }
+  row += "}\n";
+  if (std::FILE* f = std::fopen(path, "ab")) {
+    std::fwrite(row.data(), 1, row.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench: cannot append to PDC_BENCH_JSON=%s\n", path);
+  }
 }
 
 }  // namespace pdc::bench

@@ -8,10 +8,20 @@
 //                 [--combiner attr|interval|hybrid|dist]
 //                 [--q N] [--memory BYTES] [--noise F] [--sample F]
 //                 [--save PATH] [--no-prune]
+//                 [--trace PATH] [--report PATH]
+//
+// --trace writes a Chrome trace_event JSON of the modeled timeline (load in
+// Perfetto / chrome://tracing: one track per rank, spans for every phase and
+// collective).  --report writes a structured JSON run report (per-rank
+// clocks + I/O, tree shape, accuracy, metric aggregates).  Both are
+// observers only: the modeled costs and the tree are bit-identical with or
+// without them.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -20,6 +30,8 @@
 #include "data/dataset.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "pclouds/evaluate.hpp"
 #include "pclouds/pclouds.hpp"
 #include "sprint/sprint.hpp"
@@ -40,44 +52,94 @@ struct Options {
   double sample = 0.05;
   std::string save_path;
   bool prune = true;
+  std::string trace_path;
+  std::string report_path;
+  bool help = false;
 };
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: pclouds_cli [options]\n"
+      "  --procs N                virtual processors (default 4)\n"
+      "  --records N              training records (default 20000)\n"
+      "  --function 1..10         Agrawal labeling function (default 2)\n"
+      "  --classifier pclouds|sprint\n"
+      "  --method ss|sse          large-node splitter (default sse)\n"
+      "  --strategy data|concat|task|groups|mixed\n"
+      "  --combiner attr|interval|hybrid|dist\n"
+      "  --q N                    root interval count (default 1000)\n"
+      "  --memory BYTES           per-rank memory (default: paper-scaled)\n"
+      "  --noise F                label noise fraction\n"
+      "  --sample F               sample rate (default 0.05)\n"
+      "  --save PATH              save the pruned tree\n"
+      "  --no-prune               skip MDL pruning\n"
+      "  --trace PATH             write Chrome trace JSON of the modeled\n"
+      "                           timeline (open in Perfetto)\n"
+      "  --report PATH            write structured JSON run report\n"
+      "  --help                   this message\n");
+}
 
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return ++i < argc ? argv[i] : nullptr;
-    };
-    if (arg == "--procs") {
-      opt.procs = std::atoi(next());
-    } else if (arg == "--records") {
-      opt.records = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--function") {
-      opt.function = std::atoi(next());
-    } else if (arg == "--classifier") {
-      opt.classifier = next();
-    } else if (arg == "--method") {
-      opt.method = next();
-    } else if (arg == "--strategy") {
-      opt.strategy = next();
-    } else if (arg == "--combiner") {
-      opt.combiner = next();
-    } else if (arg == "--q") {
-      opt.q = std::atoi(next());
-    } else if (arg == "--memory") {
-      opt.memory = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--noise") {
-      opt.noise = std::atof(next());
-    } else if (arg == "--sample") {
-      opt.sample = std::atof(next());
-    } else if (arg == "--save") {
-      opt.save_path = next();
-    } else if (arg == "--no-prune") {
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+      return true;
+    }
+    if (arg == "--no-prune") {
       opt.prune = false;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      continue;
+    }
+    // Every remaining option takes a value.
+    const bool known =
+        arg == "--procs" || arg == "--records" || arg == "--function" ||
+        arg == "--classifier" || arg == "--method" || arg == "--strategy" ||
+        arg == "--combiner" || arg == "--q" || arg == "--memory" ||
+        arg == "--noise" || arg == "--sample" || arg == "--save" ||
+        arg == "--trace" || arg == "--report";
+    if (!known) {
+      std::fprintf(stderr, "pclouds_cli: unknown option: %s\n", arg.c_str());
       return false;
     }
+    const char* val = i + 1 < argc ? argv[++i] : nullptr;
+    if (!val) {
+      std::fprintf(stderr, "pclouds_cli: %s requires a value\n", arg.c_str());
+      return false;
+    }
+    if (arg == "--procs") {
+      opt.procs = std::atoi(val);
+    } else if (arg == "--records") {
+      opt.records = std::strtoull(val, nullptr, 10);
+    } else if (arg == "--function") {
+      opt.function = std::atoi(val);
+    } else if (arg == "--classifier") {
+      opt.classifier = val;
+    } else if (arg == "--method") {
+      opt.method = val;
+    } else if (arg == "--strategy") {
+      opt.strategy = val;
+    } else if (arg == "--combiner") {
+      opt.combiner = val;
+    } else if (arg == "--q") {
+      opt.q = std::atoi(val);
+    } else if (arg == "--memory") {
+      opt.memory = std::strtoull(val, nullptr, 10);
+    } else if (arg == "--noise") {
+      opt.noise = std::atof(val);
+    } else if (arg == "--sample") {
+      opt.sample = std::atof(val);
+    } else if (arg == "--save") {
+      opt.save_path = val;
+    } else if (arg == "--trace") {
+      opt.trace_path = val;
+    } else if (arg == "--report") {
+      opt.report_path = val;
+    }
+  }
+  if (opt.procs < 1) {
+    std::fprintf(stderr, "pclouds_cli: --procs must be >= 1\n");
+    return false;
   }
   return true;
 }
@@ -105,7 +167,14 @@ int main(int argc, char** argv) {
   using namespace pdc;
 
   Options opt;
-  if (!parse(argc, argv, opt)) return 2;
+  if (!parse(argc, argv, opt)) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (opt.help) {
+    print_usage(stdout);
+    return 0;
+  }
   if (opt.memory == 0) {
     opt.memory = io::MemoryBudget::paper_scaled(opt.records).bytes();
   }
@@ -120,59 +189,83 @@ int main(int argc, char** argv) {
   io::ScratchArena arena("cli", opt.procs);
   mp::Runtime rt(opt.procs);
 
+  const bool observing = !opt.trace_path.empty() || !opt.report_path.empty();
+  std::unique_ptr<obs::Tracer> tracer;
+  if (observing) tracer = std::make_unique<obs::Tracer>(opt.procs);
+  // Thread-confined per-rank slots (same discipline as the runtime clocks).
+  std::vector<io::IoStats> rank_io(static_cast<std::size_t>(opt.procs));
+
   std::mutex mu;
   clouds::DecisionTree tree;
   pclouds::PcloudsDiag diag;
   clouds::Confusion confusion;
 
-  const auto report = rt.run([&](mp::Comm& comm) {
-    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
-                       &comm.clock());
-    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
-                                  8192);
+  const auto report = rt.run(
+      [&](mp::Comm& comm) {
+        io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                           &comm.clock(), comm.tracer());
+        {
+          auto sp = obs::SpanGuard(comm.tracer(), "materialize", "setup",
+                                   obs::kNoArg, part.count_of(comm.rank()));
+          data::materialize_local_slice(gen, part, comm.rank(), disk,
+                                        "train.dat", 8192);
+        }
 
-    clouds::DecisionTree local_tree;
-    pclouds::PcloudsDiag local_diag;
-    if (opt.classifier == "sprint") {
-      sprint::SprintConfig cfg;
-      cfg.memory_bytes = opt.memory;
-      sprint::SprintBuilder builder(cfg,
-                                    {&comm.clock(), comm.cost().machine()});
-      local_tree = builder.train(comm, disk, "train.dat");
-    } else {
-      const auto sample =
-          data::draw_local_sample(gen, part, sampler, comm.rank());
-      pclouds::PcloudsConfig cfg;
-      cfg.clouds.method = opt.method == "ss" ? clouds::SplitMethod::kSS
-                                             : clouds::SplitMethod::kSSE;
-      cfg.clouds.q_root = opt.q;
-      cfg.strategy = strategy_of(opt.strategy);
-      cfg.combiner = combiner_of(opt.combiner);
-      cfg.memory_bytes = opt.memory;
-      local_tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
-                                          sample, &local_diag);
-    }
-    if (opt.prune) {
-      pclouds::pclouds_prune(comm, local_tree, {},
-                             {&comm.clock(), comm.cost().machine()});
-    }
+        clouds::DecisionTree local_tree;
+        pclouds::PcloudsDiag local_diag;
+        if (opt.classifier == "sprint") {
+          sprint::SprintConfig cfg;
+          cfg.memory_bytes = opt.memory;
+          sprint::SprintBuilder builder(
+              cfg, {&comm.clock(), comm.cost().machine(), comm.tracer()});
+          local_tree = builder.train(comm, disk, "train.dat");
+        } else {
+          auto sample_span =
+              obs::SpanGuard(comm.tracer(), "sample-draw", "setup");
+          const auto sample =
+              data::draw_local_sample(gen, part, sampler, comm.rank());
+          sample_span.set_n(sample.size());
+          sample_span.close();
+          pclouds::PcloudsConfig cfg;
+          cfg.clouds.method = opt.method == "ss" ? clouds::SplitMethod::kSS
+                                                 : clouds::SplitMethod::kSSE;
+          cfg.clouds.q_root = opt.q;
+          cfg.strategy = strategy_of(opt.strategy);
+          cfg.combiner = combiner_of(opt.combiner);
+          cfg.memory_bytes = opt.memory;
+          local_tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
+                                              sample, &local_diag);
+        }
+        if (opt.prune) {
+          auto sp = obs::SpanGuard(comm.tracer(), "prune", "posttrain");
+          pclouds::pclouds_prune(
+              comm, local_tree, {},
+              {&comm.clock(), comm.cost().machine(), comm.tracer()});
+        }
 
-    // Parallel evaluation: each rank scores a strided share.
-    std::vector<data::Record> my_test;
-    for (std::size_t i = static_cast<std::size_t>(comm.rank());
-         i < test.size(); i += static_cast<std::size_t>(opt.procs)) {
-      my_test.push_back(test[i]);
-    }
-    const auto conf = pclouds::pclouds_evaluate(
-        comm, local_tree, my_test, {&comm.clock(), comm.cost().machine()});
+        // Parallel evaluation: each rank scores a strided share.
+        std::vector<data::Record> my_test;
+        for (std::size_t i = static_cast<std::size_t>(comm.rank());
+             i < test.size(); i += static_cast<std::size_t>(opt.procs)) {
+          my_test.push_back(test[i]);
+        }
+        auto eval_span = obs::SpanGuard(comm.tracer(), "evaluate",
+                                        "posttrain", obs::kNoArg,
+                                        my_test.size());
+        const auto conf = pclouds::pclouds_evaluate(
+            comm, local_tree, my_test,
+            {&comm.clock(), comm.cost().machine(), comm.tracer()});
+        eval_span.close();
 
-    if (comm.rank() == 0) {
-      std::lock_guard lock(mu);
-      tree = std::move(local_tree);
-      diag = local_diag;
-      confusion = conf;
-    }
-  });
+        rank_io[static_cast<std::size_t>(comm.rank())] = disk.stats();
+        if (comm.rank() == 0) {
+          std::lock_guard lock(mu);
+          tree = std::move(local_tree);
+          diag = local_diag;
+          confusion = conf;
+        }
+      },
+      tracer.get());
 
   const auto shape = clouds::shape_of(tree);
   std::printf("classifier  : %s (%s)\n", opt.classifier.c_str(),
@@ -207,6 +300,39 @@ int main(int argc, char** argv) {
   if (!opt.save_path.empty()) {
     clouds::save_tree(tree, opt.save_path);
     std::printf("model saved : %s\n", opt.save_path.c_str());
+  }
+
+  if (!opt.trace_path.empty()) {
+    try {
+      tracer->write_chrome_json(opt.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pclouds_cli: %s\n", e.what());
+      return 1;
+    }
+    std::printf("trace       : %s (Chrome trace JSON; open in Perfetto)\n",
+                opt.trace_path.c_str());
+  }
+  if (!opt.report_path.empty()) {
+    obs::RunReport run;
+    run.classifier = opt.classifier;
+    run.nprocs = opt.procs;
+    run.records = opt.records;
+    run.ranks.reserve(report.clocks.size());
+    for (std::size_t r = 0; r < report.clocks.size(); ++r) {
+      run.ranks.push_back({report.clocks[r], rank_io[r]});
+    }
+    run.tree.nodes = shape.nodes;
+    run.tree.leaves = shape.leaves;
+    run.tree.depth = shape.depth;
+    run.accuracy = confusion.accuracy();
+    run.metrics = tracer->merged_metrics();
+    try {
+      run.write_json(opt.report_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pclouds_cli: %s\n", e.what());
+      return 1;
+    }
+    std::printf("report      : %s\n", opt.report_path.c_str());
   }
   return 0;
 }

@@ -213,6 +213,7 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
     // Partition: stream the node's records into the children's files and
     // count their classes in the same pass (the paper folds the children's
     // statistics updates into this pass to save a separate scan).
+    auto part_span = hooks_.span("partition-pass", "clouds", n);
     const std::string lfile = "node_" + std::to_string(next_file_id++);
     const std::string rfile = "node_" + std::to_string(next_file_id++);
     data::ClassCounts lcounts{};
@@ -233,6 +234,7 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
       hooks_.charge_scan(n);
       stats_.records_scanned += n;
     }
+    part_span.close();
     if (t.file != file) disk.remove(t.file);
 
     if (data::total(lcounts) == 0 || data::total(rcounts) == 0) {

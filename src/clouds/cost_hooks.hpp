@@ -9,15 +9,26 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 #include "mp/clock.hpp"
 #include "mp/machine.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::clouds {
 
 struct CostHooks {
   mp::Clock* clock = nullptr;
   mp::Machine machine{};
+  /// Optional per-rank trace handle (null/no-op by default): the kernels
+  /// open spans on the modeled timeline through it.
+  obs::RankTracer tracer{};
+
+  /// Opens a span on the modeled timeline (no-op with a null tracer).
+  obs::SpanGuard span(std::string_view name, std::string_view cat,
+                      std::uint64_t n = obs::kNoArg) const {
+    return obs::SpanGuard(tracer, name, cat, obs::kNoArg, n);
+  }
 
   /// One streaming pass touching `record_attrs` record-attribute pairs.
   void charge_scan(std::uint64_t record_attrs) const {
@@ -32,6 +43,7 @@ struct CostHooks {
     if (clock) {
       clock->add_compute(machine.cpu_gini_op * static_cast<double>(evals));
     }
+    tracer.count("clouds.gini_evals", evals);
   }
 
   /// Comparison-sort of `n` keys.

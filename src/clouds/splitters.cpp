@@ -26,7 +26,9 @@ void NodeStats::add(const data::Record& r) {
 
 void collect_stats(RecordSource& source, NodeStats& stats,
                    const CostHooks& hooks) {
+  auto sp = hooks.span("histogram-build", "clouds");
   source.scan([&](const data::Record& r) { stats.add(r); });
+  sp.set_n(source.count());
   hooks.charge_scan(source.count() *
                     static_cast<std::uint64_t>(data::kNumAttributes));
 }
@@ -51,6 +53,7 @@ SplitCandidate evaluate_boundaries(const IntervalHist& hist, int attr,
 }
 
 SplitCandidate ss_split(const NodeStats& stats, const CostHooks& hooks) {
+  auto sp = hooks.span("gini-evaluation", "clouds");
   SplitCandidate best;
   for (int a = 0; a < data::kNumNumeric; ++a) {
     best.consider(
@@ -162,6 +165,7 @@ SplitCandidate sse_split(const NodeStats& stats, RecordSource& source,
 
   std::uint64_t harvested = 0;
   if (!alive.empty()) {
+    auto sp = hooks.span("alive-evaluation", "clouds", alive.size());
     // Second pass: harvest the points that fall inside alive intervals.
     std::vector<std::vector<AlivePoint>> buckets(alive.size());
     source.scan([&](const data::Record& r) {

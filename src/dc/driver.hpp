@@ -37,6 +37,7 @@
 #include "io/local_disk.hpp"
 #include "io/memory_budget.hpp"
 #include "mp/comm.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::dc {
 
@@ -136,6 +137,10 @@ class DcDriver {
   std::vector<std::byte> combined_stats(
       mp::Comm& comm, DcProblem<T>& problem,
       const std::vector<std::byte>& local) {
+    auto sp = obs::SpanGuard(comm.tracer(), "combiner-exchange", "dc",
+                             local.size());
+    comm.tracer().observe("dc.combiner_message_bytes",
+                          static_cast<double>(local.size()));
     auto blobs = comm.all_to_all_broadcast<std::byte>(local);
     std::vector<std::byte> acc = std::move(blobs[0]);
     for (int r = 1; r < comm.size(); ++r) {
@@ -151,6 +156,7 @@ class DcDriver {
       mp::Comm& comm, DcProblem<T>& problem, const Pending& parent,
       const typename DcProblem<T>::Router& router, std::size_t block,
       const std::string& root_file) {
+    auto sp = obs::SpanGuard(comm.tracer(), "partition-pass", "dc");
     Pending left;
     Pending right;
     left.file = "dc_" + std::to_string(next_id_);
@@ -171,6 +177,9 @@ class DcDriver {
       });
     }
     drop_file(parent, root_file);
+    sp.set_n(ln + rn);
+    comm.tracer().observe("dc.partition_pass_records",
+                          static_cast<double>(ln + rn));
 
     // One combined collective settles both children's global sizes.
     struct Pair {
@@ -207,6 +216,10 @@ class DcDriver {
     queue.push_back(std::move(root));
 
     while (!queue.empty()) {
+      comm.tracer().counter("dc.queue_depth",
+                            static_cast<double>(queue.size()));
+      comm.tracer().counter("dc.small_backlog",
+                            static_cast<double>(small.size()));
       Pending cur = std::move(queue.front());
       queue.pop_front();
 
@@ -222,6 +235,8 @@ class DcDriver {
       }
 
       ++report_.large_tasks;
+      auto sp = obs::SpanGuard(comm.tracer(), "large-node", "dc", obs::kNoArg,
+                               cur.task.global_n);
       const std::size_t block = budget_.block_records(sizeof(T), 3);
       auto scan = make_scan(cur.file, block);
       const auto local = problem.local_stats(scan, cur.task);
@@ -376,6 +391,7 @@ class DcDriver {
   Pending redistribute(mp::Comm& comm, DcProblem<T>&, const Pending& left,
                        const Pending& right, int pl, const Pending& own,
                        std::size_t block) {
+    auto sp = obs::SpanGuard(comm.tracer(), "redistribute", "dc");
     const auto p = static_cast<std::size_t>(comm.size());
     std::vector<std::vector<T>> outgoing(p);
     auto route_child = [&](const Pending& child, int base, int gsize) {
@@ -408,6 +424,8 @@ class DcDriver {
   void solve_small_batch(mp::Comm& comm, DcProblem<T>& problem,
                          std::vector<Pending>& small,
                          const std::string& root_file) {
+    auto sp = obs::SpanGuard(comm.tracer(), "small-node-drain", "dc",
+                             obs::kNoArg, small.size());
     report_.small_tasks = small.size();
 
     // Deterministic owner assignment from the (globally known) task sizes.

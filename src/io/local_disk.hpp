@@ -21,14 +21,15 @@
 #include "mp/clock.hpp"
 #include "mp/cost_model.hpp"
 #include "mp/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::io {
 
 class LocalDisk {
  public:
   LocalDisk(std::filesystem::path dir, const mp::CostModel* cost,
-            mp::Clock* clock)
-      : dir_(std::move(dir)), cost_(cost), clock_(clock) {
+            mp::Clock* clock, obs::RankTracer tracer = {})
+      : dir_(std::move(dir)), cost_(cost), clock_(clock), tracer_(tracer) {
     std::filesystem::create_directories(dir_);
   }
 
@@ -96,13 +97,17 @@ class LocalDisk {
   void charge_read(std::size_t bytes) {
     ++stats_.read_ops;
     stats_.bytes_read += bytes;
+    const double t0 = clock_->total();
     clock_->add_io(cost_->disk_read(bytes));
+    tracer_.complete("disk_read", "io", t0, clock_->total(), bytes);
   }
 
   void charge_write(std::size_t bytes) {
     ++stats_.write_ops;
     stats_.bytes_written += bytes;
+    const double t0 = clock_->total();
     clock_->add_io(cost_->disk_write(bytes));
+    tracer_.complete("disk_write", "io", t0, clock_->total(), bytes);
   }
 
  private:
@@ -121,6 +126,8 @@ class LocalDisk {
   std::filesystem::path dir_;
   const mp::CostModel* cost_;
   mp::Clock* clock_;
+  /// Op-level trace events (disabled/no-op by default).
+  obs::RankTracer tracer_;
   IoStats stats_;
 };
 

@@ -9,6 +9,13 @@
 //
 // All collectives must be entered by every rank of the communicator, in the
 // same order — the usual SPMD contract.
+//
+// When the owning Runtime was given an obs::Tracer, every primitive also
+// records a span on the rank's trace track (begin at entry, end after the
+// clock settles — so the span visibly contains the idle time spent waiting
+// for slower ranks) with the published payload size as its "bytes" arg.
+// With no tracer the RankTracer is null and tracing costs one predictable
+// branch per primitive.
 
 #include <algorithm>
 #include <cstddef>
@@ -25,6 +32,7 @@
 #include "mp/cost_model.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::mp {
 
@@ -34,7 +42,8 @@ class Comm {
        std::vector<Mailbox>* mailboxes, CollectiveContext* ctx, Clock* clock,
        SplitArena* arena = nullptr,
        std::shared_ptr<const std::vector<int>> group = nullptr,
-       std::shared_ptr<CollectiveContext> owned_ctx = nullptr)
+       std::shared_ptr<CollectiveContext> owned_ctx = nullptr,
+       obs::RankTracer tracer = {})
       : rank_(rank),
         size_(size),
         cost_(cost),
@@ -43,13 +52,18 @@ class Comm {
         clock_(clock),
         arena_(arena),
         group_(std::move(group)),
-        owned_ctx_(std::move(owned_ctx)) {}
+        owned_ctx_(std::move(owned_ctx)),
+        tracer_(tracer) {}
 
   int rank() const { return rank_; }
   int size() const { return size_; }
   Clock& clock() { return *clock_; }
   const Clock& clock() const { return *clock_; }
   const CostModel& cost() const { return *cost_; }
+
+  /// This rank's trace handle (null/no-op unless the Runtime was given a
+  /// Tracer).  Anything holding a Comm can open spans through it.
+  obs::RankTracer tracer() const { return tracer_; }
 
   /// This rank's id in the world communicator (== rank() unless this Comm
   /// came from split()).
@@ -92,13 +106,14 @@ class Comm {
         arena_->get_or_create(ctx_, split_generation_++, color, group_size);
     CollectiveContext* sub_ctx_raw = sub_ctx.get();
     return Comm(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
-                arena_, std::move(members), std::move(sub_ctx));
+                arena_, std::move(members), std::move(sub_ctx), tracer_);
   }
 
   // ---------------------------------------------------------------- p2p ---
 
   template <Wireable T>
   void send(int dest, int tag, std::span<const T> data) {
+    auto sp = prim_span("send", data.size_bytes());
     Message msg;
     msg.src = global_rank();
     msg.tag = tag;
@@ -118,9 +133,11 @@ class Comm {
   /// allowed.  Sets *actual_src if provided.
   template <Wireable T>
   std::vector<T> recv(int src, int tag, int* actual_src = nullptr) {
+    auto sp = prim_span("recv");
     Message msg =
         (*mailboxes_)[static_cast<std::size_t>(global_rank())].take(
             src == kAnySource ? kAnySource : to_global(src), tag);
+    sp.set_bytes(msg.payload.size());
     clock_->wait_until(msg.arrival_time);
     clock_->add_comm(cost_->machine().tau);  // receive-side overhead
     if (actual_src) *actual_src = to_local(msg.src);
@@ -141,6 +158,7 @@ class Comm {
   // -------------------------------------------------------- collectives ---
 
   void barrier() {
+    auto sp = prim_span("barrier");
     sync_publish({});
     const double t_max = max_published_time();
     ctx_->read_barrier();
@@ -153,6 +171,7 @@ class Comm {
   /// size across ranks.
   template <Wireable T>
   std::vector<std::vector<T>> all_to_all_broadcast(std::span<const T> mine) {
+    auto sp = prim_span("all_to_all_broadcast", mine.size_bytes());
     sync_publish(to_bytes(mine));
     const double t_max = max_published_time();
     std::size_t m = 0;
@@ -184,6 +203,7 @@ class Comm {
   /// other ranks receive an empty result.
   template <Wireable T>
   std::vector<std::vector<T>> gather(int root, std::span<const T> mine) {
+    auto sp = prim_span("gather", mine.size_bytes());
     sync_publish(to_bytes(mine));
     const double t_max = max_published_time();
     std::size_t m = 0;
@@ -204,6 +224,8 @@ class Comm {
   /// One-to-all broadcast of a block from `root`.
   template <Wireable T>
   std::vector<T> broadcast(int root, std::span<const T> mine) {
+    auto sp = prim_span("broadcast",
+                        rank_ == root ? mine.size_bytes() : std::size_t{0});
     sync_publish(rank_ == root ? to_bytes(mine) : std::vector<std::byte>{});
     const double t_max = max_published_time();
     const auto& s = ctx_->slot(root);
@@ -225,6 +247,7 @@ class Comm {
   /// in rank order (deterministic).
   template <Wireable T, class Op = std::plus<T>>
   T all_reduce(const T& value, Op op = Op{}) {
+    auto sp = prim_span("all_reduce", sizeof(T));
     sync_publish(to_bytes(value));
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
@@ -240,6 +263,7 @@ class Comm {
   /// Element-wise global combine of equal-length vectors.
   template <Wireable T, class Op = std::plus<T>>
   std::vector<T> all_reduce_vec(std::span<const T> mine, Op op = Op{}) {
+    auto sp = prim_span("all_reduce_vec", mine.size_bytes());
     sync_publish(to_bytes(mine));
     const double t_max = max_published_time();
     std::vector<T> acc = from_bytes<T>(ctx_->slot(0));
@@ -258,6 +282,7 @@ class Comm {
   /// Inclusive prefix sum (scan) over ranks with a binary op.
   template <Wireable T, class Op = std::plus<T>>
   T prefix_sum(const T& value, Op op = Op{}) {
+    auto sp = prim_span("prefix_sum", sizeof(T));
     sync_publish(to_bytes(value));
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
@@ -275,6 +300,7 @@ class Comm {
   /// global minimum gini and its splitting point.
   template <Wireable T, class Less = std::less<T>>
   std::pair<T, int> min_loc(const T& value, Less less = Less{}) {
+    auto sp = prim_span("min_loc", sizeof(T));
     sync_publish(to_bytes(value));
     const double t_max = max_published_time();
     T best = value_from_bytes<T>(ctx_->slot(0));
@@ -297,6 +323,7 @@ class Comm {
   template <Wireable T>
   std::vector<std::vector<T>> all_to_all(
       const std::vector<std::vector<T>>& outgoing) {
+    auto sp = prim_span("all_to_all");
     // Frame: p uint64 segment lengths (in elements), then the segments.
     std::vector<std::byte> frame;
     std::vector<std::uint64_t> lens(static_cast<std::size_t>(size_));
@@ -312,6 +339,7 @@ class Comm {
       append_bytes(frame,
                    std::span<const T>(outgoing[static_cast<std::size_t>(d)]));
     }
+    sp.set_bytes(frame.size());
     sync_publish(std::move(frame));
     const double t_max = max_published_time();
 
@@ -343,6 +371,19 @@ class Comm {
   }
 
  private:
+  /// Span guard + per-primitive metrics for one collective (or p2p) call.
+  /// Resolves to no work at all when the tracer is disabled.
+  obs::SpanGuard prim_span(std::string_view prim,
+                           std::uint64_t bytes = obs::kNoArg) {
+    if (tracer_.enabled()) {
+      tracer_.count("mp.primitives");
+      if (bytes != obs::kNoArg) {
+        tracer_.observe("mp.primitive_bytes", static_cast<double>(bytes));
+      }
+    }
+    return obs::SpanGuard(tracer_, prim, "comm", bytes);
+  }
+
   int to_global(int r) const {
     return group_ ? (*group_)[static_cast<std::size_t>(r)] : r;
   }
@@ -393,6 +434,8 @@ class Comm {
   std::shared_ptr<CollectiveContext> owned_ctx_;
   /// Advances on every split() so repeated splits get fresh contexts.
   std::uint64_t split_generation_ = 0;
+  /// Per-rank trace handle; disabled (no-op) by default.
+  obs::RankTracer tracer_;
 };
 
 }  // namespace pdc::mp

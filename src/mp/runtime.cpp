@@ -56,7 +56,11 @@ Runtime::Runtime(int nprocs, Machine machine)
   if (nprocs < 1) throw std::invalid_argument("Runtime: nprocs must be >= 1");
 }
 
-SpmdReport Runtime::run(const std::function<void(Comm&)>& body) {
+SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
+                        obs::Tracer* tracer) {
+  if (tracer && tracer->nranks() != nprocs_) {
+    throw std::invalid_argument("Runtime: tracer built for wrong nranks");
+  }
   const auto n = static_cast<std::size_t>(nprocs_);
   std::vector<Mailbox> mailboxes(n);
   CollectiveContext ctx(nprocs_);
@@ -67,7 +71,11 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body) {
   std::mutex error_mu;
 
   auto rank_main = [&](int rank) {
-    Comm comm(rank, nprocs_, &cost_, &mailboxes, &ctx, &clocks[rank], &arena);
+    const auto urank = static_cast<std::size_t>(rank);
+    obs::RankTracer rtrace =
+        tracer ? tracer->rank(rank, &clocks[urank]) : obs::RankTracer{};
+    Comm comm(rank, nprocs_, &cost_, &mailboxes, &ctx, &clocks[urank], &arena,
+              nullptr, nullptr, rtrace);
     try {
       body(comm);
     } catch (const AbortError&) {

@@ -25,6 +25,7 @@
 #include "mp/cost_model.hpp"
 #include "mp/machine.hpp"
 #include "mp/mailbox.hpp"
+#include "obs/trace.hpp"
 
 namespace pdc::mp {
 
@@ -53,7 +54,11 @@ class Runtime {
   const CostModel& cost() const { return cost_; }
 
   /// Run `body` on every rank.  Blocking; returns when all ranks finish.
-  SpmdReport run(const std::function<void(Comm&)>& body);
+  /// When `tracer` is non-null (it must have been built with the same
+  /// nprocs), every rank records spans/metrics onto its track; the tracer
+  /// outlives the run and can then be exported with write_chrome_json().
+  SpmdReport run(const std::function<void(Comm&)>& body,
+                 obs::Tracer* tracer = nullptr);
 
  private:
   int nprocs_;

@@ -1,0 +1,80 @@
+#pragma once
+
+// Minimal JSON: a value tree, a recursive-descent parser, and the string
+// escaping the exporters share.  Scope is deliberately small — enough to
+// round-trip the documents this repository emits (run reports, Chrome
+// traces, bench rows) and to let tests assert their structure.  Numbers
+// are stored as double; emitters format with %.17g so doubles survive a
+// parse/serialize cycle exactly.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json make_bool(bool b);
+  static Json make_number(double v);
+  static Json make_string(std::string s);
+  static Json make_array();
+  static Json make_object();
+
+  /// Parses a complete document; throws std::runtime_error (with offset)
+  /// on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  const std::vector<Json>& items() const;
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  /// Object access: find() returns nullptr when the key is absent; at()
+  /// throws.  members() iterates the (key, value) pairs in document order.
+  const Json* find(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Builders (for tests and emitters that want a tree).
+  void push_back(Json v);
+  void set(std::string key, Json v);
+
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  // Insertion-ordered object representation: (key, value) pairs.
+  std::vector<std::pair<std::string, Json>> object_;
+
+  friend class JsonParser;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Formats a double the way every emitter in this repo does: %.17g, with
+/// non-finite values mapped to null (JSON has no inf/nan).
+std::string json_number(double v);
+
+}  // namespace pdc::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+// Lightweight registry of named counters, gauges and histogram summaries.
+//
+// Each rank of an SPMD run owns a private registry (no locking: registries
+// are thread-confined, like the modeled Clocks) and the registries are
+// merged after the run for the structured report: counters add, histogram
+// summaries combine, gauges keep the maximum across ranks (a gauge here is
+// a high-water mark, e.g. peak small-node queue depth).
+//
+// Names are dotted lowercase ("clouds.gini_evals", "dc.queue_depth").
+// Storage is an ordered map so every export is deterministic.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace pdc::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+
+  void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// A high-water-mark gauge: set() keeps the largest value ever seen, so
+/// cross-rank merging (max again) is associative.
+struct Gauge {
+  double value = 0.0;
+
+  void set(double v) { value = std::max(value, v); }
+};
+
+/// Streaming summary of an observed distribution (count/sum/min/max); the
+/// full distribution lives in the trace, the summary in the report.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void observe(double v) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  void merge(const HistogramSummary& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  HistogramSummary& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramSummary>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Folds another rank's registry into this one.
+  void merge(const MetricsRegistry& o) {
+    for (const auto& [name, c] : o.counters_) counters_[name].value += c.value;
+    for (const auto& [name, g] : o.gauges_) gauges_[name].set(g.value);
+    for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, HistogramSummary> histograms_;
+};
+
+}  // namespace pdc::obs

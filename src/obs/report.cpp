@@ -1,0 +1,178 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace pdc::obs {
+
+double RunReport::parallel_time_s() const {
+  double t = 0.0;
+  for (const auto& r : ranks) t = std::max(t, r.clock.total());
+  return t;
+}
+
+double RunReport::balance() const {
+  if (ranks.empty()) return 1.0;
+  double max_busy = 0.0;
+  double sum_busy = 0.0;
+  for (const auto& r : ranks) {
+    const double busy = r.clock.compute_s + r.clock.comm_s + r.clock.io_s;
+    max_busy = std::max(max_busy, busy);
+    sum_busy += busy;
+  }
+  if (max_busy == 0.0) return 1.0;
+  return sum_busy / (static_cast<double>(ranks.size()) * max_busy);
+}
+
+io::IoStats RunReport::total_io() const {
+  io::IoStats total;
+  for (const auto& r : ranks) total += r.io;
+  return total;
+}
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"pdc.run_report.v1\",\n";
+  out += "  \"classifier\": \"" + json_escape(classifier) + "\",\n";
+  out += "  \"nprocs\": " + std::to_string(nprocs) + ",\n";
+  out += "  \"records\": " + u64(records) + ",\n";
+  out += "  \"parallel_time_s\": " + json_number(parallel_time_s()) + ",\n";
+  out += "  \"balance\": " + json_number(balance()) + ",\n";
+  out += "  \"ranks\": [\n";
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const auto& rk = ranks[r];
+    out += "    {\"rank\": " + std::to_string(r) +
+           ", \"compute_s\": " + json_number(rk.clock.compute_s) +
+           ", \"comm_s\": " + json_number(rk.clock.comm_s) +
+           ", \"io_s\": " + json_number(rk.clock.io_s) +
+           ", \"idle_s\": " + json_number(rk.clock.idle_s) +
+           ", \"total_s\": " + json_number(rk.clock.total()) +
+           ", \"read_ops\": " + u64(rk.io.read_ops) +
+           ", \"write_ops\": " + u64(rk.io.write_ops) +
+           ", \"bytes_read\": " + u64(rk.io.bytes_read) +
+           ", \"bytes_written\": " + u64(rk.io.bytes_written) + "}";
+    out += (r + 1 < ranks.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"tree\": {\"nodes\": " + u64(tree.nodes) +
+         ", \"leaves\": " + u64(tree.leaves) +
+         ", \"depth\": " + std::to_string(tree.depth) + "},\n";
+  if (accuracy >= 0.0) {
+    out += "  \"accuracy\": " + json_number(accuracy) + ",\n";
+  }
+  out += "  \"metrics\": {\n";
+  out += "    \"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, c] : metrics.counters()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + json_escape(name) + "\": " + u64(c.value);
+    }
+  }
+  out += "},\n    \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, g] : metrics.gauges()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + json_escape(name) + "\": " + json_number(g.value);
+    }
+  }
+  out += "},\n    \"histograms\": {";
+  {
+    bool first = true;
+    for (const auto& [name, h] : metrics.histograms()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + json_escape(name) + "\": {\"count\": " + u64(h.count) +
+             ", \"sum\": " + json_number(h.sum) +
+             ", \"min\": " + json_number(h.min) +
+             ", \"max\": " + json_number(h.max) +
+             ", \"mean\": " + json_number(h.mean()) + "}";
+    }
+  }
+  out += "}\n  }\n}\n";
+  return out;
+}
+
+void RunReport::write_json(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("RunReport: cannot create " + path);
+  const std::string doc = to_json();
+  if (std::fwrite(doc.data(), 1, doc.size(), f.get()) != doc.size()) {
+    throw std::runtime_error("RunReport: short write to " + path);
+  }
+}
+
+RunReport RunReport::from_json(std::string_view text) {
+  const Json doc = Json::parse(text);
+  if (const Json* schema = doc.find("schema");
+      !schema || schema->as_string() != "pdc.run_report.v1") {
+    throw std::runtime_error("RunReport: unknown schema");
+  }
+
+  RunReport out;
+  out.classifier = doc.at("classifier").as_string();
+  out.nprocs = static_cast<int>(doc.at("nprocs").as_number());
+  out.records = static_cast<std::uint64_t>(doc.at("records").as_number());
+
+  for (const auto& rj : doc.at("ranks").items()) {
+    Rank rk;
+    rk.clock.compute_s = rj.at("compute_s").as_number();
+    rk.clock.comm_s = rj.at("comm_s").as_number();
+    rk.clock.io_s = rj.at("io_s").as_number();
+    rk.clock.idle_s = rj.at("idle_s").as_number();
+    rk.io.read_ops = static_cast<std::size_t>(rj.at("read_ops").as_number());
+    rk.io.write_ops = static_cast<std::size_t>(rj.at("write_ops").as_number());
+    rk.io.bytes_read =
+        static_cast<std::size_t>(rj.at("bytes_read").as_number());
+    rk.io.bytes_written =
+        static_cast<std::size_t>(rj.at("bytes_written").as_number());
+    out.ranks.push_back(rk);
+  }
+
+  const Json& tj = doc.at("tree");
+  out.tree.nodes = static_cast<std::uint64_t>(tj.at("nodes").as_number());
+  out.tree.leaves = static_cast<std::uint64_t>(tj.at("leaves").as_number());
+  out.tree.depth = static_cast<std::int32_t>(tj.at("depth").as_number());
+
+  if (const Json* acc = doc.find("accuracy")) {
+    out.accuracy = acc->as_number();
+  }
+
+  const Json& mj = doc.at("metrics");
+  for (const auto& [name, v] : mj.at("counters").members()) {
+    out.metrics.counter(name).value =
+        static_cast<std::uint64_t>(v.as_number());
+  }
+  for (const auto& [name, v] : mj.at("gauges").members()) {
+    out.metrics.gauge(name).value = v.as_number();
+  }
+  for (const auto& [name, v] : mj.at("histograms").members()) {
+    HistogramSummary& h = out.metrics.histogram(name);
+    h.count = static_cast<std::uint64_t>(v.at("count").as_number());
+    h.sum = v.at("sum").as_number();
+    // An empty histogram serializes min/max (±inf) as null.
+    if (v.at("min").is_number()) h.min = v.at("min").as_number();
+    if (v.at("max").is_number()) h.max = v.at("max").as_number();
+  }
+  return out;
+}
+
+}  // namespace pdc::obs

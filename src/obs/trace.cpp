@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace pdc::obs {
+
+Tracer::Tracer(int nranks) {
+  if (nranks < 1) throw std::invalid_argument("Tracer: nranks must be >= 1");
+  tracks_.resize(static_cast<std::size_t>(nranks));
+}
+
+Tracer::Track& Tracer::track(int rank) {
+  return tracks_.at(static_cast<std::size_t>(rank));
+}
+
+const std::vector<TraceEvent>& Tracer::events(int rank) const {
+  return tracks_.at(static_cast<std::size_t>(rank)).events;
+}
+
+MetricsRegistry& Tracer::metrics(int rank) {
+  return tracks_.at(static_cast<std::size_t>(rank)).metrics;
+}
+
+const MetricsRegistry& Tracer::metrics(int rank) const {
+  return tracks_.at(static_cast<std::size_t>(rank)).metrics;
+}
+
+MetricsRegistry Tracer::merged_metrics() const {
+  MetricsRegistry merged;
+  for (const auto& t : tracks_) merged.merge(t.metrics);
+  return merged;
+}
+
+void RankTracer::do_complete(std::string_view name, std::string_view cat,
+                             double begin_s, double end_s, std::uint64_t bytes,
+                             std::uint64_t n) const {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kComplete;
+  ev.name = name;
+  ev.cat = cat;
+  ev.begin_s = begin_s;
+  ev.end_s = end_s;
+  ev.bytes = bytes;
+  ev.n = n;
+  tracer_->track(rank_).events.push_back(std::move(ev));
+}
+
+void RankTracer::do_instant(std::string_view name, std::string_view cat) const {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.name = name;
+  ev.cat = cat;
+  ev.begin_s = now();
+  tracer_->track(rank_).events.push_back(std::move(ev));
+}
+
+void RankTracer::do_counter(std::string_view name, double value) const {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kCounter;
+  ev.name = name;
+  ev.begin_s = now();
+  ev.value = value;
+  tracer_->track(rank_).events.push_back(std::move(ev));
+}
+
+void RankTracer::do_count(std::string_view name, std::uint64_t delta) const {
+  tracer_->track(rank_).metrics.counter(std::string(name)).add(delta);
+}
+
+void RankTracer::do_observe(std::string_view name, double value) const {
+  tracer_->track(rank_).metrics.histogram(std::string(name)).observe(value);
+}
+
+void RankTracer::do_gauge(std::string_view name, double value) const {
+  tracer_->track(rank_).metrics.gauge(std::string(name)).set(value);
+}
+
+namespace {
+
+/// Modeled seconds -> trace microseconds (Chrome's native unit).
+std::string trace_us(double seconds) { return json_number(seconds * 1e6); }
+
+void append_event_json(std::string& out, const TraceEvent& ev, int rank) {
+  const std::string common = "\"pid\":0,\"tid\":" + std::to_string(rank) +
+                             ",\"ts\":" + trace_us(ev.begin_s);
+  switch (ev.kind) {
+    case TraceEvent::Kind::kComplete: {
+      out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+             json_escape(ev.cat) + "\",\"ph\":\"X\"," + common +
+             ",\"dur\":" + trace_us(ev.end_s - ev.begin_s);
+      if (ev.bytes != kNoArg || ev.n != kNoArg) {
+        out += ",\"args\":{";
+        bool first = true;
+        if (ev.bytes != kNoArg) {
+          out += "\"bytes\":" + std::to_string(ev.bytes);
+          first = false;
+        }
+        if (ev.n != kNoArg) {
+          if (!first) out += ",";
+          out += "\"n\":" + std::to_string(ev.n);
+        }
+        out += "}";
+      }
+      out += "}";
+      break;
+    }
+    case TraceEvent::Kind::kInstant:
+      out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+             json_escape(ev.cat) + "\",\"ph\":\"i\",\"s\":\"t\"," + common +
+             "}";
+      break;
+    case TraceEvent::Kind::kCounter:
+      out += "{\"name\":\"" + json_escape(ev.name) + "\",\"ph\":\"C\"," +
+             common + ",\"args\":{\"value\":" + json_number(ev.value) + "}}";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (int r = 0; r < nranks(); ++r) {
+    // Name the track so Perfetto shows "rank N" instead of a bare tid.
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(r) + ",\"args\":{\"name\":\"rank " +
+           std::to_string(r) + "\"}}";
+    for (const auto& ev : tracks_[static_cast<std::size_t>(r)].events) {
+      out += ",\n";
+      append_event_json(out, ev, r);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("Tracer: cannot create " + path);
+  const std::string doc = chrome_json();
+  if (std::fwrite(doc.data(), 1, doc.size(), f.get()) != doc.size()) {
+    throw std::runtime_error("Tracer: short write to " + path);
+  }
+}
+
+}  // namespace pdc::obs

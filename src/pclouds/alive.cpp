@@ -26,6 +26,7 @@ AliveOutcome evaluate_alive_parallel(
     const clouds::SplitCandidate& boundary_best,
     const data::ClassCounts& node_counts, const LocalScan& scan,
     const clouds::CostHooks& hooks) {
+  auto sp = hooks.span("alive-evaluation", "pclouds", alive.size());
   AliveOutcome out;
   out.best = boundary_best;
   out.survival = clouds::survival_ratio(alive, node_counts);

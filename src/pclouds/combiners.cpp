@@ -171,6 +171,7 @@ std::size_t total_boundary_items(const NodeStats& stats) {
 BoundaryDerivation derive_replicated(mp::Comm& comm, CombineMethod method,
                                      const NodeStats& global, bool want_alive,
                                      const clouds::CostHooks& hooks) {
+  auto sp = hooks.span("gini-evaluation", "pclouds");
   BoundaryDerivation out;
   out.counts = global.counts;
   const WorkAssign assign{method, comm.size(), total_boundary_items(global)};
@@ -193,6 +194,7 @@ BoundaryDerivation derive_replicated(mp::Comm& comm, CombineMethod method,
 BoundaryDerivation derive_distributed(mp::Comm& comm, const NodeStats& local,
                                       bool want_alive,
                                       const clouds::CostHooks& hooks) {
+  auto sp = hooks.span("gini-evaluation", "pclouds");
   BoundaryDerivation out;
   out.counts = comm.all_reduce<data::ClassCounts>(
       local.counts, [](data::ClassCounts a, const data::ClassCounts& b) {

@@ -19,6 +19,7 @@ static_assert(std::is_trivially_copyable_v<SubtreeHdr>);
 /// every rank grafts all of them (in task-id order) into its replica of the
 /// tree, so the final trees are identical everywhere.
 void assemble_small_subtrees(mp::Comm& comm, CloudsProblem& problem) {
+  auto sp = obs::SpanGuard(comm.tracer(), "subtree-assembly", "pclouds");
   std::vector<SubtreeHdr> headers;
   std::vector<clouds::TreeNode> payload;
   for (const auto& [task_id, nodes] : problem.small_subtrees()) {
@@ -63,9 +64,14 @@ clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
   // identical interval boundaries at every node.
   const std::uint64_t root_records = comm.all_reduce<std::uint64_t>(
       disk.file_records<data::Record>(train_file));
+  auto sample_span = obs::SpanGuard(comm.tracer(), "sample-replication",
+                                    "pclouds", obs::kNoArg,
+                                    local_sample.size());
   auto full_sample = comm.all_gather<data::Record>(local_sample);
+  sample_span.close();
 
-  clouds::CostHooks hooks{&comm.clock(), comm.cost().machine()};
+  clouds::CostHooks hooks{&comm.clock(), comm.cost().machine(),
+                          comm.tracer()};
   CloudsProblem problem(cfg, root_records, std::move(full_sample), hooks,
                         &disk);
 

@@ -96,6 +96,7 @@ std::int32_t CloudsProblem::tree_node_of(std::int64_t task_id) const {
 
 std::vector<std::byte> CloudsProblem::local_stats(const Scan& scan,
                                                   const dc::Task& task) {
+  auto sp = hooks_.span("histogram-build", "pclouds", task.global_n);
   TaskCtx& ctx = ctx_of(task);
 
   if (sketch_mode()) {
@@ -210,11 +211,14 @@ std::optional<CloudsProblem::Router> CloudsProblem::decide(
   if (want_alive) {
     ++diag_.sse_nodes;
     diag_.alive_intervals += bd.alive.size();
+    hooks_.tracer.observe("pclouds.alive_intervals_per_node",
+                          static_cast<double>(bd.alive.size()));
     const auto outcome = evaluate_alive_parallel(comm, bd.alive, bd.gini_min,
                                                  bd.counts, scan, hooks_);
     best = outcome.best;
     diag_.survival_sum += outcome.survival;
     diag_.alive_points_shipped += outcome.points_shipped;
+    hooks_.tracer.observe("pclouds.survival", outcome.survival);
   }
   if (!best.valid) return std::nullopt;
 
@@ -328,6 +332,7 @@ void CloudsProblem::on_leaf(mp::Comm&, const dc::Task& task) {
 
 void CloudsProblem::solve_sequential(const dc::Task& task,
                                      std::vector<Record> data) {
+  auto sp = hooks_.span("solve-sequential", "pclouds", data.size());
   clouds::CloudsConfig scfg = cfg_.clouds;
   scfg.max_depth = std::max(0, cfg_.clouds.max_depth - task.depth);
 

@@ -116,6 +116,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
                        static_cast<std::uint64_t>(data::kNumAttributes));
   }
 
+  auto presort_span = hooks_.span("presort", "sprint", local_n);
   for (int a = 0; a < data::kNumNumeric; ++a) {
     std::vector<ListEntry> list(records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
@@ -140,6 +141,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
   }
   records.clear();
   records.shrink_to_fit();
+  presort_span.close();
 
   // ---- Tree construction.
   clouds::DecisionTree tree(root.counts);
@@ -187,6 +189,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       return {};
     };
 
+    auto eval_span =
+        hooks_.span("split-eval", "sprint", data::total(w.counts));
     // Class counts strictly before each portion: one prefix sum.
     const PortionCounts inclusive =
         comm.prefix_sum<PortionCounts>(w.portion, std::plus<>{});
@@ -252,6 +256,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       }
     }
 
+    eval_span.close();
     const auto best = reduce_best(comm, local_best);
     if (!best.valid) {
       ++local_diag.leaves;
@@ -260,6 +265,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
     }
 
     // ---- Partitioning.
+    auto part_span =
+        hooks_.span("partition-pass", "sprint", data::total(w.counts));
     // Pass 1: the winning attribute's list decides each rid's side.
     std::vector<std::uint32_t> my_left_rids;
     {
@@ -312,6 +319,9 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
     }
     std::sort(member_set.begin(), member_set.end());
     hooks_.charge_sort(member_set.size());
+    hooks_.tracer.count("sprint.rids_exchanged",
+                        distributed ? my_left_rids.size()
+                                    : member_set.size());
     local_diag.max_rid_set =
         std::max<std::uint64_t>(local_diag.max_rid_set, member_set.size());
     auto in_member_set = [&](std::uint32_t rid) {
@@ -402,6 +412,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       disk.remove(list_file(f, w.id));
     }
 
+    part_span.close();
     // Children's global class counts, then grow the replicated tree.
     struct Pair {
       ClassCounts l, r;
