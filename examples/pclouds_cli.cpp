@@ -9,6 +9,8 @@
 //                 [--q N] [--memory BYTES] [--noise F] [--sample F]
 //                 [--save PATH] [--no-prune]
 //                 [--trace PATH] [--report PATH]
+//                 [--scratch DIR] [--checkpoint-every N] [--resume]
+//                 [--inject SPEC]
 //
 // --trace writes a Chrome trace_event JSON of the modeled timeline (load in
 // Perfetto / chrome://tracing: one track per rank, spans for every phase and
@@ -16,18 +18,28 @@
 // clocks + I/O, tree shape, accuracy, metric aggregates).  Both are
 // observers only: the modeled costs and the tree are bit-identical with or
 // without them.
+//
+// Robustness flags: --inject plants deterministic disk/comm faults (grammar
+// in fault/fault.hpp, e.g. "disk_write:rank=1:op=3:times=2"), --scratch
+// keeps the per-rank disks at a fixed path across process restarts, and
+// --checkpoint-every/--resume snapshot and restore the divide-and-conquer
+// state so a killed run finishes with the identical tree.  A run killed by
+// an unrecovered fault exits with status 3.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "clouds/metrics.hpp"
 #include "clouds/model_io.hpp"
 #include "data/dataset.hpp"
+#include "fault/fault.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/report.hpp"
@@ -54,6 +66,10 @@ struct Options {
   bool prune = true;
   std::string trace_path;
   std::string report_path;
+  std::string scratch_dir;
+  std::uint64_t checkpoint_every = 0;
+  bool resume = false;
+  std::string inject;
   bool help = false;
 };
 
@@ -77,6 +93,13 @@ void print_usage(std::FILE* to) {
       "  --trace PATH             write Chrome trace JSON of the modeled\n"
       "                           timeline (open in Perfetto)\n"
       "  --report PATH            write structured JSON run report\n"
+      "  --scratch DIR            persistent scratch root (kept across\n"
+      "                           runs; required for cross-process resume)\n"
+      "  --checkpoint-every N     snapshot driver state every N tasks\n"
+      "  --resume                 restore the newest common snapshot\n"
+      "  --inject SPEC            plant deterministic faults, e.g.\n"
+      "                           disk_write:rank=1:op=3:times=2;comm_coll:"
+      "op=5\n"
       "  --help                   this message\n");
 }
 
@@ -91,13 +114,18 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.prune = false;
       continue;
     }
+    if (arg == "--resume") {
+      opt.resume = true;
+      continue;
+    }
     // Every remaining option takes a value.
     const bool known =
         arg == "--procs" || arg == "--records" || arg == "--function" ||
         arg == "--classifier" || arg == "--method" || arg == "--strategy" ||
         arg == "--combiner" || arg == "--q" || arg == "--memory" ||
         arg == "--noise" || arg == "--sample" || arg == "--save" ||
-        arg == "--trace" || arg == "--report";
+        arg == "--trace" || arg == "--report" || arg == "--scratch" ||
+        arg == "--checkpoint-every" || arg == "--inject";
     if (!known) {
       std::fprintf(stderr, "pclouds_cli: unknown option: %s\n", arg.c_str());
       return false;
@@ -135,10 +163,22 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.trace_path = val;
     } else if (arg == "--report") {
       opt.report_path = val;
+    } else if (arg == "--scratch") {
+      opt.scratch_dir = val;
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = std::strtoull(val, nullptr, 10);
+    } else if (arg == "--inject") {
+      opt.inject = val;
     }
   }
   if (opt.procs < 1) {
     std::fprintf(stderr, "pclouds_cli: --procs must be >= 1\n");
+    return false;
+  }
+  if (opt.resume && opt.scratch_dir.empty()) {
+    std::fprintf(stderr,
+                 "pclouds_cli: --resume needs --scratch (the snapshots live "
+                 "on the per-rank disks)\n");
     return false;
   }
   return true;
@@ -186,7 +226,23 @@ int main(int argc, char** argv) {
   data::Sampler sampler(opt.sample, 31);
   const auto test = data::make_test_set(gen, opt.records, opt.records / 4);
 
-  io::ScratchArena arena("cli", opt.procs);
+  fault::FaultPlan faults;
+  if (!opt.inject.empty()) {
+    try {
+      faults = fault::FaultPlan::parse(opt.inject);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pclouds_cli: --inject: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::optional<io::ScratchArena> arena;
+  if (opt.scratch_dir.empty()) {
+    arena.emplace("cli", opt.procs);
+  } else {
+    arena.emplace(std::filesystem::path(opt.scratch_dir), opt.procs,
+                  io::ScratchArena::Persist{});
+  }
   mp::Runtime rt(opt.procs);
 
   const bool observing = !opt.trace_path.empty() || !opt.report_path.empty();
@@ -200,10 +256,12 @@ int main(int argc, char** argv) {
   pclouds::PcloudsDiag diag;
   clouds::Confusion confusion;
 
-  const auto report = rt.run(
+  mp::SpmdReport report;
+  try {
+    report = rt.run(
       [&](mp::Comm& comm) {
-        io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
-                           &comm.clock(), comm.tracer());
+        io::LocalDisk disk(arena->rank_dir(comm.rank()), &comm.cost(),
+                           &comm.clock(), comm.tracer(), comm.fault());
         {
           auto sp = obs::SpanGuard(comm.tracer(), "materialize", "setup",
                                    obs::kNoArg, part.count_of(comm.rank()));
@@ -233,6 +291,8 @@ int main(int argc, char** argv) {
           cfg.strategy = strategy_of(opt.strategy);
           cfg.combiner = combiner_of(opt.combiner);
           cfg.memory_bytes = opt.memory;
+          cfg.checkpoint_every = opt.checkpoint_every;
+          cfg.resume = opt.resume;
           local_tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
                                               sample, &local_diag);
         }
@@ -265,7 +325,26 @@ int main(int argc, char** argv) {
           confusion = conf;
         }
       },
-      tracer.get());
+      tracer.get(), faults.empty() ? nullptr : &faults);
+  } catch (const fault::DiskFault& e) {
+    std::fprintf(stderr, "pclouds_cli: run lost to a disk fault: %s\n",
+                 e.what());
+    if (opt.checkpoint_every > 0 && !opt.scratch_dir.empty()) {
+      std::fprintf(stderr,
+                   "pclouds_cli: restart with --resume to continue from the "
+                   "last snapshot\n");
+    }
+    return 3;
+  } catch (const fault::CommFault& e) {
+    std::fprintf(stderr, "pclouds_cli: run lost to a comm fault: %s\n",
+                 e.what());
+    if (opt.checkpoint_every > 0 && !opt.scratch_dir.empty()) {
+      std::fprintf(stderr,
+                   "pclouds_cli: restart with --resume to continue from the "
+                   "last snapshot\n");
+    }
+    return 3;
+  }
 
   const auto shape = clouds::shape_of(tree);
   std::printf("classifier  : %s (%s)\n", opt.classifier.c_str(),

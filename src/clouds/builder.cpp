@@ -233,6 +233,8 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
       });
       hooks_.charge_scan(n);
       stats_.records_scanned += n;
+      lw.close();
+      rw.close();
     }
     part_span.close();
     if (t.file != file) disk.remove(t.file);

@@ -5,6 +5,7 @@
 // carry the dominant class of their partition.
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,8 +64,30 @@ class DecisionTree {
 
   /// Flat serialization of the whole node arena (TreeNode is trivially
   /// copyable, so subtrees can be shipped through the message-passing layer
-  /// or stored on disk verbatim).
-  std::vector<TreeNode> serialize() const { return nodes_; }
+  /// or stored on disk verbatim).  Struct padding is scrubbed to zero so
+  /// the bytes — and everything derived from them: saved models,
+  /// checkpoint blobs and their checksums — are deterministic.
+  std::vector<TreeNode> serialize() const {
+    std::vector<TreeNode> out(nodes_.size());
+    if (out.empty()) return out;
+    std::memset(static_cast<void*>(out.data()), 0,
+                out.size() * sizeof(TreeNode));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const TreeNode& n = nodes_[i];
+      TreeNode& c = out[i];
+      c.leaf = n.leaf;
+      c.label = n.label;
+      c.counts = n.counts;
+      c.split.kind = n.split.kind;
+      c.split.attr = n.split.attr;
+      c.split.threshold = n.split.threshold;
+      c.split.subset = n.split.subset;
+      c.left = n.left;
+      c.right = n.right;
+      c.depth = n.depth;
+    }
+    return out;
+  }
   static DecisionTree deserialize(std::vector<TreeNode> nodes);
 
   /// Replaces leaf `at` with the (serialized) subtree rooted at `sub[0]`.

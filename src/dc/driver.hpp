@@ -27,13 +27,16 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "dc/lpt.hpp"
 #include "dc/problem.hpp"
+#include "fault/checkpoint.hpp"
 #include "io/local_disk.hpp"
 #include "io/memory_budget.hpp"
 #include "mp/comm.hpp"
@@ -63,6 +66,15 @@ struct DcConfig {
   std::size_t memory_bytes = 1 << 20;
   /// Keep the caller's root file intact (children get driver-owned files).
   bool preserve_root_file = true;
+  /// Snapshot the queued loop's state (pending queues, partial result)
+  /// every N dequeued tasks; 0 disables checkpointing.  Only the queued
+  /// strategies (data-parallel / task-parallel / mixed) checkpoint —
+  /// their loop runs in lockstep on every rank, so per-rank snapshots
+  /// taken at the same iteration form a globally consistent cut.
+  std::uint64_t checkpoint_every = 0;
+  /// Start from the newest snapshot that is valid on EVERY rank, if one
+  /// exists on the ranks' disks; otherwise run from scratch.
+  bool resume = false;
 };
 
 struct DcReport {
@@ -72,6 +84,8 @@ struct DcReport {
   std::size_t levels = 0;        ///< concatenated only
   double small_balance = 1.0;    ///< LPT load balance of the small phase
   std::uint64_t records_redistributed = 0;
+  std::size_t checkpoints = 0;   ///< snapshots written this run
+  bool resumed = false;          ///< this run started from a snapshot
 };
 
 template <mp::Wireable T>
@@ -84,6 +98,7 @@ class DcDriver {
                const std::string& root_file) {
     report_ = DcReport{};
     next_id_ = 1;
+    ckpt_version_ = 1;
 
     Pending root;
     root.task.id = 0;
@@ -175,6 +190,8 @@ class DcDriver {
           ++rn;
         }
       });
+      lw.close();
+      rw.close();
     }
     drop_file(parent, root_file);
     sp.set_n(ln + rn);
@@ -213,13 +230,25 @@ class DcDriver {
 
     std::deque<Pending> queue;
     std::vector<Pending> small;
-    queue.push_back(std::move(root));
+    if (!cfg_.resume || !try_restore(comm, problem, queue, small)) {
+      queue.push_back(std::move(root));
+    }
+    std::uint64_t since_ckpt = 0;
 
     while (!queue.empty()) {
       comm.tracer().counter("dc.queue_depth",
                             static_cast<double>(queue.size()));
       comm.tracer().counter("dc.small_backlog",
                             static_cast<double>(small.size()));
+      // The loop body below is identical on every rank (the queue holds
+      // the same tasks everywhere; only the record payloads differ), so
+      // counting dequeues keeps the ranks' snapshot points aligned without
+      // any extra collective.
+      if (cfg_.checkpoint_every > 0 && since_ckpt >= cfg_.checkpoint_every) {
+        write_checkpoint(comm, problem, queue, small);
+        since_ckpt = 0;
+      }
+      ++since_ckpt;
       Pending cur = std::move(queue.front());
       queue.pop_front();
 
@@ -478,6 +507,124 @@ class DcDriver {
     }
   }
 
+  // --------------------------------------------- checkpoint / restart ---
+
+  template <class V>
+  static void append_raw(std::vector<std::byte>& out, const V& v) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    const auto at = out.size();
+    out.resize(at + sizeof(V));
+    std::memcpy(out.data() + at, &v, sizeof(V));
+  }
+
+  template <class V>
+  static V take_raw(std::span<const std::byte> in, std::size_t& at) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    if (in.size() - at < sizeof(V)) {
+      throw std::runtime_error("DcDriver: truncated checkpoint state");
+    }
+    V v;
+    std::memcpy(&v, in.data() + at, sizeof(V));
+    at += sizeof(V);
+    return v;
+  }
+
+  /// Snapshot this rank's view of the loop: driver counters, the problem's
+  /// partial result, both pending queues, and the raw contents of every
+  /// pending task's data file (the live files keep changing after the
+  /// snapshot, so the snapshot must carry its own copies).  Purely local —
+  /// no collective — because every rank reaches this point at the same
+  /// iteration with the same version counter.
+  void write_checkpoint(mp::Comm& comm, DcProblem<T>& problem,
+                        const std::deque<Pending>& queue,
+                        const std::vector<Pending>& small) {
+    auto sp = obs::SpanGuard(comm.tracer(), "checkpoint-write", "fault");
+    std::vector<fault::CheckpointBlob> blobs;
+    std::vector<std::byte> state;
+    append_raw(state, next_id_);
+    append_raw(state, report_);
+    append_raw(state, static_cast<std::uint64_t>(queue.size()));
+    append_raw(state, static_cast<std::uint64_t>(small.size()));
+    std::size_t idx = 0;
+    auto add_entry = [&](const Pending& p) {
+      append_raw(state, p.task);
+      append_raw(state, static_cast<std::uint64_t>(p.file.size()));
+      const auto at = state.size();
+      state.resize(at + p.file.size());
+      std::memcpy(state.data() + at, p.file.data(), p.file.size());
+      blobs.push_back({"task_" + std::to_string(idx++),
+                       disk_->read_file<std::byte>(p.file)});
+    };
+    for (const auto& p : queue) add_entry(p);
+    for (const auto& p : small) add_entry(p);
+    blobs.push_back({"problem", problem.export_state()});
+    blobs.push_back({"state", std::move(state)});
+
+    fault::CheckpointStore store(*disk_);
+    store.write(ckpt_version_, blobs);
+    ++ckpt_version_;
+    store.gc(2);
+    ++report_.checkpoints;
+    comm.tracer().count("fault.checkpoints");
+  }
+
+  /// Restart from the newest snapshot valid on every rank.  The agreement
+  /// is one small collective: each rank publishes its list of locally
+  /// valid versions, everyone intersects, and all ranks pick the same
+  /// maximum — so a crash that left some ranks one version ahead (or with
+  /// a torn snapshot) still resolves to a consistent cut.
+  bool try_restore(mp::Comm& comm, DcProblem<T>& problem,
+                   std::deque<Pending>& queue, std::vector<Pending>& small) {
+    auto sp = obs::SpanGuard(comm.tracer(), "checkpoint-restore", "fault");
+    fault::CheckpointStore store(*disk_);
+    const auto mine = store.valid_versions();
+    const auto all = comm.all_to_all_broadcast<std::uint64_t>(
+        std::span<const std::uint64_t>(mine));
+    std::set<std::uint64_t> common(all[0].begin(), all[0].end());
+    for (int r = 1; r < comm.size(); ++r) {
+      const std::set<std::uint64_t> theirs(
+          all[static_cast<std::size_t>(r)].begin(),
+          all[static_cast<std::size_t>(r)].end());
+      std::erase_if(common,
+                    [&](std::uint64_t v) { return !theirs.contains(v); });
+    }
+    if (common.empty()) return false;
+    const std::uint64_t v = *common.rbegin();
+
+    const auto state = store.read_blob(v, "state");
+    std::size_t at = 0;
+    next_id_ = take_raw<std::int64_t>(state, at);
+    report_ = take_raw<DcReport>(state, at);
+    const auto n_queue = take_raw<std::uint64_t>(state, at);
+    const auto n_small = take_raw<std::uint64_t>(state, at);
+    std::size_t idx = 0;
+    auto take_entry = [&]() {
+      Pending p;
+      p.task = take_raw<Task>(state, at);
+      const auto len = take_raw<std::uint64_t>(state, at);
+      if (state.size() - at < len) {
+        throw std::runtime_error("DcDriver: truncated checkpoint state");
+      }
+      p.file.assign(reinterpret_cast<const char*>(state.data() + at),
+                    static_cast<std::size_t>(len));
+      at += len;
+      const auto content =
+          store.read_blob(v, "task_" + std::to_string(idx++));
+      disk_->write_file<std::byte>(p.file, content);
+      return p;
+    };
+    for (std::uint64_t i = 0; i < n_queue; ++i) queue.push_back(take_entry());
+    for (std::uint64_t i = 0; i < n_small; ++i) small.push_back(take_entry());
+    problem.restore_state(store.read_blob(v, "problem"));
+
+    // The next snapshot overwrites anything past the agreed cut (a rank
+    // that was a version ahead simply re-writes v+1 from the replay).
+    ckpt_version_ = v + 1;
+    report_.resumed = true;
+    comm.tracer().count("fault.resumes");
+    return true;
+  }
+
   // --------------------------------------------------------- framing ---
 
   static std::vector<std::byte> frame_blobs(
@@ -532,6 +679,7 @@ class DcDriver {
   io::MemoryBudget budget_;
   DcReport report_;
   std::int64_t next_id_ = 1;
+  std::uint64_t ckpt_version_ = 1;
 };
 
 }  // namespace pdc::dc

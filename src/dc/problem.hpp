@@ -105,6 +105,15 @@ class DcProblem {
     const double dn = static_cast<double>(n);
     return n <= 1 ? 1.0 : dn * std::log2(dn);
   }
+
+  /// Checkpointing: serialize this rank's complete problem state (partial
+  /// result plus whatever per-task context outlives one driver iteration).
+  /// Called by the driver at a loop boundary on every rank; restore_state
+  /// must rebuild an equivalent object so that a resumed run makes the
+  /// exact same decisions as an uninterrupted one.  The default (empty
+  /// blob, no-op restore) is correct only for stateless problems.
+  virtual std::vector<std::byte> export_state() const { return {}; }
+  virtual void restore_state(std::span<const std::byte> blob) { (void)blob; }
 };
 
 }  // namespace pdc::dc

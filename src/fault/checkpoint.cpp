@@ -1,0 +1,217 @@
+#include "fault/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <set>
+
+namespace pdc::fault {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'p', 'd', 'c', 'C', 'k', 'p', 't', '1'};
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+bool get_u64(std::span<const std::byte> in, std::size_t& offset,
+             std::uint64_t& v) {
+  if (in.size() - offset < sizeof(v)) return false;
+  std::memcpy(&v, in.data() + offset, sizeof(v));
+  offset += sizeof(v);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+CheckpointStore::CheckpointStore(io::LocalDisk& disk, std::string prefix)
+    : disk_(&disk), prefix_(std::move(prefix)) {}
+
+std::string CheckpointStore::file_of(std::uint64_t version,
+                                     const std::string& blob) const {
+  return prefix_ + ".v" + std::to_string(version) + "." + blob;
+}
+
+std::string CheckpointStore::manifest_of(std::uint64_t version) const {
+  return file_of(version, "manifest");
+}
+
+void CheckpointStore::write(std::uint64_t version,
+                            std::span<const CheckpointBlob> blobs) {
+  // Invalidate any stale snapshot of this version before the first blob
+  // lands: the manifest is removed first, so a crash mid-write can only
+  // leave a version with no manifest (invalid), never a manifest that
+  // vouches for mixed old/new blobs.
+  const auto stale = manifest_of(version);
+  if (disk_->exists(stale)) disk_->remove(stale);
+
+  std::vector<std::byte> manifest;
+  manifest.insert(manifest.end(),
+                  reinterpret_cast<const std::byte*>(kMagic),
+                  reinterpret_cast<const std::byte*>(kMagic) + sizeof(kMagic));
+  put_u64(manifest, version);
+  put_u64(manifest, blobs.size());
+  for (const auto& blob : blobs) {
+    disk_->write_file<std::byte>(file_of(version, blob.name), blob.bytes);
+    put_u64(manifest, blob.name.size());
+    const auto at = manifest.size();
+    manifest.resize(at + blob.name.size());
+    std::memcpy(manifest.data() + at, blob.name.data(), blob.name.size());
+    put_u64(manifest, blob.bytes.size());
+    put_u64(manifest, fnv1a64(blob.bytes));
+  }
+  put_u64(manifest, fnv1a64(manifest));
+  disk_->write_file<std::byte>(manifest_of(version), manifest);
+}
+
+std::optional<std::vector<CheckpointStore::ManifestEntry>>
+CheckpointStore::load_manifest(std::uint64_t version) {
+  const auto name = manifest_of(version);
+  if (!disk_->exists(name)) return std::nullopt;
+  const auto raw = disk_->read_file<std::byte>(name);
+  if (raw.size() < sizeof(kMagic) + 3 * sizeof(std::uint64_t)) {
+    return std::nullopt;
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  // Self-checksum over everything before the trailing hash (guards against
+  // the manifest write itself having torn).
+  const std::span body(raw.data(), raw.size() - sizeof(std::uint64_t));
+  std::uint64_t self = 0;
+  {
+    std::size_t at = raw.size() - sizeof(std::uint64_t);
+    if (!get_u64(raw, at, self)) return std::nullopt;
+  }
+  if (fnv1a64(body) != self) return std::nullopt;
+
+  std::size_t at = sizeof(kMagic);
+  std::uint64_t stored_version = 0;
+  std::uint64_t count = 0;
+  if (!get_u64(raw, at, stored_version) || stored_version != version) {
+    return std::nullopt;
+  }
+  if (!get_u64(raw, at, count)) return std::nullopt;
+  std::vector<ManifestEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t name_len = 0;
+    if (!get_u64(raw, at, name_len) || raw.size() - at < name_len) {
+      return std::nullopt;
+    }
+    ManifestEntry e;
+    e.name.assign(reinterpret_cast<const char*>(raw.data() + at),
+                  static_cast<std::size_t>(name_len));
+    at += name_len;
+    if (!get_u64(raw, at, e.bytes) || !get_u64(raw, at, e.checksum)) {
+      return std::nullopt;
+    }
+    entries.push_back(std::move(e));
+  }
+
+  // A snapshot vouches for its blobs: every one must exist with matching
+  // size and checksum, or the whole version is rejected.
+  for (const auto& e : entries) {
+    const auto blob_file = file_of(version, e.name);
+    if (disk_->file_bytes(blob_file) != e.bytes) return std::nullopt;
+    const auto bytes = disk_->read_file<std::byte>(blob_file);
+    if (fnv1a64(bytes) != e.checksum) return std::nullopt;
+  }
+  return entries;
+}
+
+std::vector<std::uint64_t> CheckpointStore::versions_on_disk() const {
+  std::set<std::uint64_t> found;
+  const std::string stem = prefix_ + ".v";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(disk_->dir(), ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    const auto rest = name.substr(stem.size());
+    const auto dot = rest.find('.');
+    if (dot == std::string::npos) continue;
+    std::uint64_t v = 0;
+    const auto* end = rest.data() + dot;
+    auto [ptr, err] = std::from_chars(rest.data(), end, v);
+    if (err == std::errc{} && ptr == end) found.insert(v);
+  }
+  return {found.begin(), found.end()};
+}
+
+std::vector<std::uint64_t> CheckpointStore::valid_versions() {
+  std::vector<std::uint64_t> out;
+  for (const auto v : versions_on_disk()) {
+    if (load_manifest(v).has_value()) out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> CheckpointStore::blob_names(
+    std::uint64_t version) {
+  auto entries = load_manifest(version);
+  if (!entries) return std::nullopt;
+  std::vector<std::string> names;
+  names.reserve(entries->size());
+  for (auto& e : *entries) names.push_back(std::move(e.name));
+  return names;
+}
+
+std::vector<std::byte> CheckpointStore::read_blob(std::uint64_t version,
+                                                  const std::string& name) {
+  auto entries = load_manifest(version);
+  if (!entries) {
+    throw std::runtime_error("CheckpointStore: snapshot v" +
+                             std::to_string(version) + " is not valid");
+  }
+  for (const auto& e : *entries) {
+    if (e.name == name) {
+      return disk_->read_file<std::byte>(file_of(version, name));
+    }
+  }
+  throw std::runtime_error("CheckpointStore: snapshot v" +
+                           std::to_string(version) + " has no blob '" + name +
+                           "'");
+}
+
+void CheckpointStore::gc(std::size_t keep) {
+  const auto valid = valid_versions();
+  std::set<std::uint64_t> keepers;
+  for (std::size_t i = valid.size() > keep ? valid.size() - keep : 0;
+       i < valid.size(); ++i) {
+    keepers.insert(valid[i]);
+  }
+  const std::string stem = prefix_ + ".v";
+  std::vector<std::string> doomed;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(disk_->dir(), ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    const auto rest = name.substr(stem.size());
+    const auto dot = rest.find('.');
+    if (dot == std::string::npos) continue;
+    std::uint64_t v = 0;
+    const auto* end = rest.data() + dot;
+    auto [ptr, err] = std::from_chars(rest.data(), end, v);
+    if (err != std::errc{} || ptr != end) continue;
+    if (!keepers.contains(v)) doomed.push_back(name);
+  }
+  for (const auto& name : doomed) disk_->remove(name);
+}
+
+void CheckpointStore::clear() { gc(0); }
+
+}  // namespace pdc::fault

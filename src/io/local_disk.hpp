@@ -8,6 +8,13 @@
 // granularity matters: one streaming block = one disk request, so algorithms
 // that read a node's data in few large blocks are cheaper than ones that
 // dribble — exactly the effect the paper's out-of-core analysis hinges on.
+//
+// When constructed with a fault::RankFault, every disk request first asks
+// the injector for a verdict.  Transient failures are retried in place with
+// exponential backoff charged to the modeled clock; when the retry budget
+// runs out, fault::DiskFault propagates.  An injected torn write puts a
+// partial prefix of the payload on disk and then throws — modeling a crash
+// mid-write, the case a checkpoint manifest exists to detect.
 
 #include <cstdio>
 #include <filesystem>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "io/iostats.hpp"
 #include "mp/clock.hpp"
 #include "mp/cost_model.hpp"
@@ -25,11 +33,26 @@
 
 namespace pdc::io {
 
+/// How LocalDisk rides through transient disk faults: up to `max_attempts`
+/// tries per request, sleeping (on the modeled clock) `backoff_s` before
+/// the first retry and `multiplier`× more before each further one.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double backoff_s = 8e-3;  ///< ~ one disk positioning delay
+  double multiplier = 2.0;
+};
+
 class LocalDisk {
  public:
   LocalDisk(std::filesystem::path dir, const mp::CostModel* cost,
-            mp::Clock* clock, obs::RankTracer tracer = {})
-      : dir_(std::move(dir)), cost_(cost), clock_(clock), tracer_(tracer) {
+            mp::Clock* clock, obs::RankTracer tracer = {},
+            fault::RankFault* fault = nullptr, RetryPolicy retry = {})
+      : dir_(std::move(dir)),
+        cost_(cost),
+        clock_(clock),
+        tracer_(tracer),
+        fault_(fault),
+        retry_(retry) {
     std::filesystem::create_directories(dir_);
   }
 
@@ -70,8 +93,12 @@ class LocalDisk {
   /// Write a whole typed file in one request (overwrites).
   template <mp::Wireable T>
   void write_file(const std::string& name, std::span<const T> data) {
+    const auto verdict = admit(/*is_write=*/true, name);
     FilePtr f(std::fopen(path_of(name).c_str(), "wb"));
     if (!f) throw std::runtime_error("LocalDisk: cannot create " + name);
+    if (verdict == Admit::kTear) {
+      tear_write(f, name, data.data(), data.size_bytes());
+    }
     if (!data.empty() &&
         std::fwrite(data.data(), sizeof(T), data.size(), f.get()) !=
             data.size()) {
@@ -83,6 +110,7 @@ class LocalDisk {
   /// Read a whole typed file in one request.
   template <mp::Wireable T>
   std::vector<T> read_file(const std::string& name) {
+    admit(/*is_write=*/false, name);
     const std::size_t n = file_records<T>(name);
     FilePtr f(std::fopen(path_of(name).c_str(), "rb"));
     if (!f) throw std::runtime_error("LocalDisk: cannot open " + name);
@@ -123,11 +151,63 @@ class LocalDisk {
   template <mp::Wireable T>
   friend class RecordReader;
 
+  enum class Admit { kOk, kTear };
+
+  /// Gatekeeper for one disk request.  Transient injected failures are
+  /// retried here with exponential backoff charged to the modeled clock;
+  /// exhausting the budget throws fault::DiskFault.  kTear tells a write
+  /// path to leave a partial prefix on disk and die.
+  Admit admit(bool is_write, const std::string& name) {
+    if (!fault_ || !fault_->enabled()) return Admit::kOk;
+    double backoff = retry_.backoff_s;
+    for (int attempt = 1;; ++attempt) {
+      const auto action = fault_->on_disk(is_write);
+      if (action == fault::DiskAction::kProceed) {
+        if (attempt > 1) tracer_.count("fault.disk_recovered");
+        return Admit::kOk;
+      }
+      if (action == fault::DiskAction::kTear) {
+        tracer_.count("fault.disk_torn");
+        return Admit::kTear;
+      }
+      tracer_.count("fault.disk_injected");
+      if (attempt >= retry_.max_attempts) {
+        throw fault::DiskFault(std::string("LocalDisk: ") +
+                               (is_write ? "write" : "read") + " of " + name +
+                               " failed after " + std::to_string(attempt) +
+                               " attempts");
+      }
+      const double t0 = clock_->total();
+      clock_->add_io(backoff);
+      tracer_.complete("disk_retry_backoff", "fault", t0, clock_->total());
+      tracer_.count("fault.disk_retries");
+      backoff *= retry_.multiplier;
+    }
+  }
+
+  /// Models a crash mid-write: half the payload's bytes land on disk (the
+  /// cut need not fall on a record boundary), then the request dies.
+  [[noreturn]] void tear_write(FilePtr& f, const std::string& name,
+                               const void* data, std::size_t total_bytes) {
+    const std::size_t torn = total_bytes / 2;
+    if (torn != 0) {
+      std::fwrite(data, 1, torn, f.get());
+    }
+    f.reset();  // flush the partial prefix so the tear is durable
+    charge_write(torn);
+    throw fault::DiskFault("LocalDisk: torn write to " + name + " (" +
+                           std::to_string(torn) + "/" +
+                           std::to_string(total_bytes) + " bytes)");
+  }
+
   std::filesystem::path dir_;
   const mp::CostModel* cost_;
   mp::Clock* clock_;
   /// Op-level trace events (disabled/no-op by default).
   obs::RankTracer tracer_;
+  /// Fault injector (null = faults disabled).
+  fault::RankFault* fault_ = nullptr;
+  RetryPolicy retry_;
   IoStats stats_;
 };
 
@@ -146,7 +226,16 @@ class RecordWriter {
     buffer_.reserve(block_records_);
   }
 
-  ~RecordWriter() { close(); }
+  /// Destruction flushes, but swallows disk faults: the destructor may be
+  /// running during unwinding from another fault, and the writing code is
+  /// expected to close() explicitly on its success path (where faults DO
+  /// propagate).
+  ~RecordWriter() {
+    try {
+      close();
+    } catch (...) {
+    }
+  }
 
   RecordWriter(const RecordWriter&) = delete;
   RecordWriter& operator=(const RecordWriter&) = delete;
@@ -162,7 +251,15 @@ class RecordWriter {
   }
 
   void flush() {
-    if (buffer_.empty()) return;
+    if (buffer_.empty() || !file_) return;
+    if (disk_->admit(/*is_write=*/true, name_) == LocalDisk::Admit::kTear) {
+      // Hand the buffer off so a later destructor-flush cannot re-write it;
+      // tear_write leaves a partial prefix and throws.
+      std::vector<T> doomed;
+      doomed.swap(buffer_);
+      disk_->tear_write(file_, name_, doomed.data(),
+                        doomed.size() * sizeof(T));
+    }
     if (std::fwrite(buffer_.data(), sizeof(T), buffer_.size(), file_.get()) !=
         buffer_.size()) {
       throw std::runtime_error("RecordWriter: short write to " + name_);
@@ -209,6 +306,7 @@ class RecordReader {
   bool next_block(std::vector<T>& out) {
     out.clear();
     if (remaining_ == 0) return false;
+    disk_->admit(/*is_write=*/false, name_);
     const std::size_t n = std::min(block_records_, remaining_);
     out.resize(n);
     if (std::fread(out.data(), sizeof(T), n, file_.get()) != n) {

@@ -36,7 +36,17 @@ ScratchArena::ScratchArena(const std::string& tag, int nprocs)
   }
 }
 
+ScratchArena::ScratchArena(std::filesystem::path root, int nprocs, Persist)
+    : root_(std::move(root)), nprocs_(nprocs), keep_(true) {
+  if (nprocs < 1) throw std::invalid_argument("ScratchArena: nprocs >= 1");
+  fs::create_directories(root_);
+  for (int r = 0; r < nprocs; ++r) {
+    fs::create_directories(rank_dir(r));
+  }
+}
+
 ScratchArena::~ScratchArena() {
+  if (keep_) return;
   std::error_code ec;
   fs::remove_all(root_, ec);  // best effort
 }

@@ -18,6 +18,16 @@ class ScratchArena {
   /// `tag` names the arena; a unique suffix is appended.  The arena lives
   /// under $PDC_SCRATCH_ROOT if set, else the system temp directory.
   explicit ScratchArena(const std::string& tag, int nprocs);
+
+  /// Tag type selecting the persistent constructor.
+  struct Persist {};
+
+  /// A persistent arena at an exact path: nothing is removed on
+  /// destruction, and an existing tree at `root` is adopted as-is.  This is
+  /// what lets a restarted process (`pclouds_cli --resume`) find the
+  /// checkpoints a killed run left behind.
+  ScratchArena(std::filesystem::path root, int nprocs, Persist);
+
   ~ScratchArena();
 
   ScratchArena(const ScratchArena&) = delete;
@@ -34,6 +44,7 @@ class ScratchArena {
  private:
   std::filesystem::path root_;
   int nprocs_;
+  bool keep_ = false;
 };
 
 }  // namespace pdc::io

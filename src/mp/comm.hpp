@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mp/clock.hpp"
 #include "mp/collective_ctx.hpp"
 #include "mp/cost_model.hpp"
@@ -43,7 +44,7 @@ class Comm {
        SplitArena* arena = nullptr,
        std::shared_ptr<const std::vector<int>> group = nullptr,
        std::shared_ptr<CollectiveContext> owned_ctx = nullptr,
-       obs::RankTracer tracer = {})
+       obs::RankTracer tracer = {}, fault::RankFault* fault = nullptr)
       : rank_(rank),
         size_(size),
         cost_(cost),
@@ -53,7 +54,8 @@ class Comm {
         arena_(arena),
         group_(std::move(group)),
         owned_ctx_(std::move(owned_ctx)),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        fault_(fault) {}
 
   int rank() const { return rank_; }
   int size() const { return size_; }
@@ -64,6 +66,11 @@ class Comm {
   /// This rank's trace handle (null/no-op unless the Runtime was given a
   /// Tracer).  Anything holding a Comm can open spans through it.
   obs::RankTracer tracer() const { return tracer_; }
+
+  /// This rank's fault injector (null unless the Runtime was given a
+  /// FaultPlan).  io::LocalDisk takes it to put disk requests under the
+  /// same plan that governs communication.
+  fault::RankFault* fault() const { return fault_; }
 
   /// This rank's id in the world communicator (== rank() unless this Comm
   /// came from split()).
@@ -106,14 +113,15 @@ class Comm {
         arena_->get_or_create(ctx_, split_generation_++, color, group_size);
     CollectiveContext* sub_ctx_raw = sub_ctx.get();
     return Comm(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
-                arena_, std::move(members), std::move(sub_ctx), tracer_);
+                arena_, std::move(members), std::move(sub_ctx), tracer_,
+                fault_);
   }
 
   // ---------------------------------------------------------------- p2p ---
 
   template <Wireable T>
   void send(int dest, int tag, std::span<const T> data) {
-    auto sp = prim_span("send", data.size_bytes());
+    auto sp = prim_span("send", data.size_bytes(), /*collective=*/false);
     Message msg;
     msg.src = global_rank();
     msg.tag = tag;
@@ -133,7 +141,7 @@ class Comm {
   /// allowed.  Sets *actual_src if provided.
   template <Wireable T>
   std::vector<T> recv(int src, int tag, int* actual_src = nullptr) {
-    auto sp = prim_span("recv");
+    auto sp = prim_span("recv", obs::kNoArg, /*collective=*/false);
     Message msg =
         (*mailboxes_)[static_cast<std::size_t>(global_rank())].take(
             src == kAnySource ? kAnySource : to_global(src), tag);
@@ -372,9 +380,21 @@ class Comm {
 
  private:
   /// Span guard + per-primitive metrics for one collective (or p2p) call.
-  /// Resolves to no work at all when the tracer is disabled.
+  /// Resolves to no work at all when the tracer is disabled.  This is also
+  /// the fault-injection point: it runs before the primitive publishes
+  /// anything, so an injected CommFault leaves the collective context
+  /// untouched and the runtime's abort path can unwind every other rank.
   obs::SpanGuard prim_span(std::string_view prim,
-                           std::uint64_t bytes = obs::kNoArg) {
+                           std::uint64_t bytes = obs::kNoArg,
+                           bool collective = true) {
+    if (fault_ && fault_->enabled()) {
+      try {
+        fault_->on_comm(prim, collective);
+      } catch (...) {
+        tracer_.count("fault.comm_injected");
+        throw;
+      }
+    }
     if (tracer_.enabled()) {
       tracer_.count("mp.primitives");
       if (bytes != obs::kNoArg) {
@@ -436,6 +456,8 @@ class Comm {
   std::uint64_t split_generation_ = 0;
   /// Per-rank trace handle; disabled (no-op) by default.
   obs::RankTracer tracer_;
+  /// Per-rank fault injector; null (no-op) by default.
+  fault::RankFault* fault_ = nullptr;
 };
 
 }  // namespace pdc::mp

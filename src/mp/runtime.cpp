@@ -57,7 +57,7 @@ Runtime::Runtime(int nprocs, Machine machine)
 }
 
 SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
-                        obs::Tracer* tracer) {
+                        obs::Tracer* tracer, const fault::FaultPlan* faults) {
   if (tracer && tracer->nranks() != nprocs_) {
     throw std::invalid_argument("Runtime: tracer built for wrong nranks");
   }
@@ -66,6 +66,13 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
   CollectiveContext ctx(nprocs_);
   SplitArena arena;
   std::vector<Clock> clocks(n);
+  std::vector<fault::RankFault> injectors(n);
+  if (faults) {
+    for (int r = 0; r < nprocs_; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      injectors[ur] = fault::RankFault(faults, r, &clocks[ur]);
+    }
+  }
 
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -75,7 +82,7 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
     obs::RankTracer rtrace =
         tracer ? tracer->rank(rank, &clocks[urank]) : obs::RankTracer{};
     Comm comm(rank, nprocs_, &cost_, &mailboxes, &ctx, &clocks[urank], &arena,
-              nullptr, nullptr, rtrace);
+              nullptr, nullptr, rtrace, faults ? &injectors[urank] : nullptr);
     try {
       body(comm);
     } catch (const AbortError&) {

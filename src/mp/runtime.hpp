@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mp/clock.hpp"
 #include "mp/collective_ctx.hpp"
 #include "mp/comm.hpp"
@@ -57,8 +58,12 @@ class Runtime {
   /// When `tracer` is non-null (it must have been built with the same
   /// nprocs), every rank records spans/metrics onto its track; the tracer
   /// outlives the run and can then be exported with write_chrome_json().
+  /// When `faults` is non-null each rank gets a fault injector over the
+  /// plan, reachable via Comm::fault(); an injected comm fault aborts the
+  /// whole run and rethrows here, like any other rank failure.
   SpmdReport run(const std::function<void(Comm&)>& body,
-                 obs::Tracer* tracer = nullptr);
+                 obs::Tracer* tracer = nullptr,
+                 const fault::FaultPlan* faults = nullptr);
 
  private:
   int nprocs_;

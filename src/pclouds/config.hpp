@@ -56,6 +56,12 @@ struct PcloudsConfig {
   /// Per-level compactor capacity for BoundarySource::kSketch.
   std::size_t sketch_k = 256;
 
+  /// Snapshot the driver's state every N dequeued tasks (0 = off); see
+  /// dc::DcConfig::checkpoint_every.
+  std::uint64_t checkpoint_every = 0;
+  /// Resume from the newest snapshot valid on every rank's disk.
+  bool resume = false;
+
   std::uint64_t derived_small_threshold(std::uint64_t root_records) const {
     if (small_threshold_records != 0) return small_threshold_records;
     if (clouds.q_root <= 0) return 0;

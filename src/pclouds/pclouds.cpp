@@ -79,6 +79,8 @@ clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
   dcfg.strategy = cfg.strategy;
   dcfg.small_threshold = cfg.derived_small_threshold(root_records);
   dcfg.memory_bytes = cfg.memory_bytes;
+  dcfg.checkpoint_every = cfg.checkpoint_every;
+  dcfg.resume = cfg.resume;
   dc::DcDriver<data::Record> driver(dcfg, disk);
   const auto report = driver.run(comm, problem, train_file);
 

@@ -1,6 +1,7 @@
 #include "pclouds/problem.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "pclouds/alive.hpp"
@@ -397,6 +398,181 @@ double CloudsProblem::sequential_cost(std::uint64_t n) const {
   const double dn = static_cast<double>(n);
   return n <= 1 ? 1.0
                 : static_cast<double>(data::kNumNumeric) * dn * std::log2(dn);
+}
+
+// ------------------------------------------------- checkpoint codec ---
+
+namespace {
+
+template <class V>
+void put_raw(std::vector<std::byte>& out, const V& v) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  const auto at = out.size();
+  out.resize(at + sizeof(V));
+  std::memcpy(out.data() + at, &v, sizeof(V));
+}
+
+template <class V>
+V get_raw(std::span<const std::byte> in, std::size_t& at) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  if (in.size() - at < sizeof(V)) {
+    throw std::runtime_error("pclouds: truncated checkpoint blob");
+  }
+  V v;
+  std::memcpy(&v, in.data() + at, sizeof(V));
+  at += sizeof(V);
+  return v;
+}
+
+template <class V>
+void put_vec(std::vector<std::byte>& out, const std::vector<V>& v) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  put_raw(out, static_cast<std::uint64_t>(v.size()));
+  const auto at = out.size();
+  out.resize(at + v.size() * sizeof(V));
+  if (!v.empty()) std::memcpy(out.data() + at, v.data(), v.size() * sizeof(V));
+}
+
+template <class V>
+std::vector<V> get_vec(std::span<const std::byte> in, std::size_t& at) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  const auto n = get_raw<std::uint64_t>(in, at);
+  if ((in.size() - at) / sizeof(V) < n) {
+    throw std::runtime_error("pclouds: truncated checkpoint blob");
+  }
+  std::vector<V> v(static_cast<std::size_t>(n));
+  if (n != 0) std::memcpy(v.data(), in.data() + at, v.size() * sizeof(V));
+  at += v.size() * sizeof(V);
+  return v;
+}
+
+void put_stats(std::vector<std::byte>& out, const NodeStats& s) {
+  put_raw(out, s.counts);
+  put_raw(out, static_cast<std::uint64_t>(s.hists.size()));
+  for (const auto& h : s.hists) {
+    put_vec(out, h.bounds);
+    put_vec(out, h.freq);
+  }
+  put_raw(out, static_cast<std::uint64_t>(s.cats.size()));
+  for (const auto& c : s.cats) {
+    put_raw(out, c.attr);
+    put_vec(out, c.counts);
+  }
+}
+
+NodeStats get_stats(std::span<const std::byte> in, std::size_t& at) {
+  NodeStats s;
+  s.counts = get_raw<data::ClassCounts>(in, at);
+  const auto nh = get_raw<std::uint64_t>(in, at);
+  s.hists.resize(static_cast<std::size_t>(nh));
+  for (auto& h : s.hists) {
+    h.bounds = get_vec<float>(in, at);
+    h.freq = get_vec<data::ClassCounts>(in, at);
+  }
+  const auto nc = get_raw<std::uint64_t>(in, at);
+  s.cats.clear();
+  s.cats.reserve(static_cast<std::size_t>(nc));
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    clouds::CountMatrix c(get_raw<int>(in, at));
+    c.counts = get_vec<data::ClassCounts>(in, at);
+    s.cats.push_back(std::move(c));
+  }
+  return s;
+}
+
+template <class Map>
+std::vector<std::int64_t> sorted_keys(const Map& m) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+std::vector<std::byte> CloudsProblem::export_state() const {
+  // The driver snapshots at a loop boundary, where no decision is in
+  // flight — a non-empty pending_/splits_ would mean the snapshot point is
+  // wrong, not that there is more to save.
+  if (!pending_.empty() || !splits_.empty()) {
+    throw std::logic_error("pclouds: export_state with a decision in flight");
+  }
+  std::vector<std::byte> out;
+  put_vec(out, tree_.serialize());
+
+  put_raw(out, static_cast<std::uint64_t>(node_of_.size()));
+  for (const auto id : sorted_keys(node_of_)) {
+    put_raw(out, id);
+    put_raw(out, node_of_.at(id));
+  }
+
+  put_raw(out, static_cast<std::uint64_t>(ctxs_.size()));
+  for (const auto id : sorted_keys(ctxs_)) {
+    const TaskCtx& ctx = ctxs_.at(id);
+    put_raw(out, id);
+    put_raw(out, static_cast<std::uint8_t>(ctx.filled ? 1 : 0));
+    put_raw(out, static_cast<std::uint8_t>(ctx.prefilled ? 1 : 0));
+    put_vec(out, ctx.sample);
+    put_stats(out, ctx.local);
+    put_raw(out, static_cast<std::uint64_t>(ctx.sketches.size()));
+    for (const auto& s : ctx.sketches) {
+      const auto bytes = s.serialize();
+      out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+  }
+
+  put_raw(out, static_cast<std::uint64_t>(small_subtrees_.size()));
+  for (const auto& [id, nodes] : small_subtrees_) {
+    put_raw(out, id);
+    put_vec(out, nodes);
+  }
+
+  put_raw(out, diag_);
+  return out;
+}
+
+void CloudsProblem::restore_state(std::span<const std::byte> blob) {
+  std::size_t at = 0;
+  tree_ = clouds::DecisionTree::deserialize(get_vec<clouds::TreeNode>(blob, at));
+
+  node_of_.clear();
+  const auto n_nodes = get_raw<std::uint64_t>(blob, at);
+  for (std::uint64_t i = 0; i < n_nodes; ++i) {
+    const auto id = get_raw<std::int64_t>(blob, at);
+    node_of_[id] = get_raw<std::int32_t>(blob, at);
+  }
+
+  ctxs_.clear();
+  pending_.clear();
+  splits_.clear();
+  const auto n_ctxs = get_raw<std::uint64_t>(blob, at);
+  for (std::uint64_t i = 0; i < n_ctxs; ++i) {
+    const auto id = get_raw<std::int64_t>(blob, at);
+    TaskCtx ctx;
+    ctx.filled = get_raw<std::uint8_t>(blob, at) != 0;
+    ctx.prefilled = get_raw<std::uint8_t>(blob, at) != 0;
+    ctx.sample = get_vec<Record>(blob, at);
+    ctx.local = get_stats(blob, at);
+    const auto n_sketches = get_raw<std::uint64_t>(blob, at);
+    ctx.sketches.reserve(static_cast<std::size_t>(n_sketches));
+    for (std::uint64_t s = 0; s < n_sketches; ++s) {
+      ctx.sketches.push_back(clouds::QuantileSketch::deserialize(blob, at));
+    }
+    ctxs_.emplace(id, std::move(ctx));
+  }
+
+  small_subtrees_.clear();
+  const auto n_small = get_raw<std::uint64_t>(blob, at);
+  for (std::uint64_t i = 0; i < n_small; ++i) {
+    const auto id = get_raw<std::int64_t>(blob, at);
+    small_subtrees_.emplace_back(id, get_vec<clouds::TreeNode>(blob, at));
+  }
+
+  diag_ = get_raw<Diag>(blob, at);
+  if (at != blob.size()) {
+    throw std::runtime_error("pclouds: trailing bytes in checkpoint blob");
+  }
 }
 
 }  // namespace pdc::pclouds

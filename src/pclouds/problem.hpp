@@ -76,6 +76,12 @@ class CloudsProblem final : public dc::DcProblem<data::Record> {
   std::vector<std::byte> export_subtree(const dc::Task& task) override;
   void absorb_subtree(const dc::Task& task,
                       std::span<const std::byte> blob) override;
+  /// Checkpoint codec: the partial tree, task→node map, every live task
+  /// context (sample, histograms, sketches) and the diagnostics — enough to
+  /// make a resumed run replay the remaining splits bit-identically.  Maps
+  /// are serialized in task-id order so the blob is deterministic.
+  std::vector<std::byte> export_state() const override;
+  void restore_state(std::span<const std::byte> blob) override;
 
   // --- results (read after the driver finishes) ---
   clouds::DecisionTree& tree() { return tree_; }

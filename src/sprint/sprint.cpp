@@ -409,6 +409,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       }
       local_diag.entries_streamed += streamed;
       hooks_.charge_scan(streamed);
+      lwriter.close();
+      rwriter.close();
       disk.remove(list_file(f, w.id));
     }
 

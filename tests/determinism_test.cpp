@@ -1,0 +1,91 @@
+// Determinism regression: with a fixed seed, configuration and processor
+// count, two independent runs must produce a byte-identical saved model
+// and the identical modeled parallel time — the property that makes every
+// fault scenario replayable from a (seed, site) pair.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clouds/model_io.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+
+namespace pdc {
+namespace {
+
+struct RunOutcome {
+  std::string model_bytes;   ///< saved-model file contents
+  double parallel_time = 0.0;
+  double max_io = 0.0;
+};
+
+RunOutcome one_run(const std::string& tag, int p) {
+  io::ScratchArena arena(tag, p);
+  mp::Runtime rt(p);
+  const std::uint64_t n = 5000;
+  data::AgrawalGenerator gen({.function = 2, .seed = 23});
+  data::DatasetPartition part(n, p);
+  data::Sampler sampler(0.05, 4);
+
+  RunOutcome out;
+  std::mutex mu;
+  const auto report = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  2048);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+    pclouds::PcloudsConfig cfg;
+    cfg.clouds.q_root = 300;
+    cfg.memory_bytes = 64 << 10;
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+    if (comm.rank() == 0) {
+      const auto path = arena.rank_dir(0) / "model.bin";
+      clouds::save_tree(tree, path);
+      // Raw file bytes, so the assertion covers the on-disk format too.
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      std::string bytes;
+      char buf[4096];
+      std::size_t got = 0;
+      while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        bytes.append(buf, got);
+      }
+      std::fclose(f);
+      std::lock_guard lock(mu);
+      out.model_bytes = std::move(bytes);
+    }
+  });
+  out.parallel_time = report.parallel_time();
+  out.max_io = report.max_io();
+  return out;
+}
+
+TEST(Determinism, RepeatedRunsProduceIdenticalModelAndModeledTime) {
+  const auto a = one_run("determinism_a", 4);
+  const auto b = one_run("determinism_b", 4);
+  ASSERT_FALSE(a.model_bytes.empty());
+  EXPECT_EQ(a.model_bytes, b.model_bytes);
+  EXPECT_EQ(a.parallel_time, b.parallel_time);  // exact, not NEAR
+  EXPECT_EQ(a.max_io, b.max_io);
+}
+
+TEST(Determinism, HoldsAtEveryProcessorCount) {
+  for (int p : {1, 2, 3}) {
+    const auto a = one_run("determinism_p" + std::to_string(p) + "a", p);
+    const auto b = one_run("determinism_p" + std::to_string(p) + "b", p);
+    EXPECT_EQ(a.model_bytes, b.model_bytes) << "p=" << p;
+    EXPECT_EQ(a.parallel_time, b.parallel_time) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace pdc

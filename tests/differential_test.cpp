@@ -1,0 +1,133 @@
+// Differential testing: the parallel implementation against the sequential
+// reference, and the approximating split methods against the exact one.
+//
+//  - pCLOUDS at p in {1, 2, 4} grows the byte-identical tree (processor
+//    count is a performance knob, never a semantic one).
+//  - pCLOUDS accuracy stays within tolerance of the sequential
+//    CloudsBuilder on the same function-2 workload.
+//  - SSE (lower bounds + exact re-evaluation) matches the direct method's
+//    split quality at every node of an in-memory build, and SS stays close.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "clouds/splitters.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+
+namespace pdc {
+namespace {
+
+using data::Record;
+
+std::vector<Record> make_train(std::uint64_t n) {
+  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  return gen.make_range(0, n);
+}
+
+std::string tree_bytes(const clouds::DecisionTree& tree) {
+  const auto nodes = tree.serialize();
+  std::string out(nodes.size() * sizeof(clouds::TreeNode), '\0');
+  if (!nodes.empty()) std::memcpy(out.data(), nodes.data(), out.size());
+  return out;
+}
+
+struct ParallelRun {
+  std::string tree;
+  double accuracy = 0.0;
+};
+
+ParallelRun run_pclouds(int p, std::uint64_t n,
+                        std::span<const Record> test) {
+  io::ScratchArena arena("differential", p);
+  mp::Runtime rt(p);
+  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  data::DatasetPartition part(n, p);
+  data::Sampler sampler(0.05, 4);
+
+  ParallelRun out;
+  std::mutex mu;
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  2048);
+    const auto sample = data::draw_local_sample(gen, part, sampler,
+                                                comm.rank());
+    pclouds::PcloudsConfig cfg;
+    cfg.clouds.q_root = 400;
+    cfg.memory_bytes = 64 << 10;
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      out.tree = tree_bytes(tree);
+      out.accuracy = tree.accuracy(test);
+    }
+  });
+  return out;
+}
+
+TEST(Differential, TreeIsByteIdenticalAcrossProcessorCounts) {
+  const std::uint64_t n = 6000;
+  const auto test = make_train(2000);
+  const auto p1 = run_pclouds(1, n, test);
+  const auto p2 = run_pclouds(2, n, test);
+  const auto p4 = run_pclouds(4, n, test);
+  ASSERT_FALSE(p1.tree.empty());
+  EXPECT_EQ(p1.tree, p2.tree);
+  EXPECT_EQ(p1.tree, p4.tree);
+  EXPECT_DOUBLE_EQ(p1.accuracy, p4.accuracy);
+}
+
+TEST(Differential, ParallelMatchesSequentialBuilderWithinTolerance) {
+  const std::uint64_t n = 6000;
+  const auto train = make_train(n);
+  data::AgrawalGenerator test_gen({.function = 2, .seed = 99});
+  const auto test = data::make_test_set(test_gen, n, 2000);
+
+  clouds::CloudsConfig seq_cfg;
+  seq_cfg.q_root = 400;
+  clouds::CloudsBuilder seq(seq_cfg);
+  const auto seq_tree = seq.build(train);
+  const double seq_acc = seq_tree.accuracy(test);
+  EXPECT_GT(seq_acc, 0.9);
+
+  const auto par = run_pclouds(4, n, test);
+  EXPECT_NEAR(par.accuracy, seq_acc, 0.02);
+}
+
+// Per-node differential of the split methods themselves: on random node
+// data, SSE's final gini must equal the direct method's exact optimum
+// (SSE is exact by construction — the lower bounds only prune intervals
+// that cannot win), and SS must never beat the exact optimum.
+TEST(Differential, SseMatchesDirectSplitQualityOnRandomNodes) {
+  data::AgrawalGenerator gen({.function = 5, .seed = 3});
+  std::uint64_t next = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto records = gen.make_range(next, next + 600);
+    next += 600;
+
+    auto stats = clouds::NodeStats::with_boundaries(records, /*q=*/24);
+    clouds::MemorySource source(records);
+    clouds::collect_stats(source, stats, {});
+
+    const auto exact = clouds::direct_split(records, {});
+    const auto sse = clouds::sse_split(stats, source, {});
+    const auto ss = clouds::ss_split(stats, {});
+    if (!exact.valid) continue;
+    ASSERT_TRUE(sse.valid) << "trial " << trial;
+    EXPECT_NEAR(sse.gini, exact.gini, 1e-9) << "trial " << trial;
+    EXPECT_GE(ss.gini + 1e-9, exact.gini) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pdc

@@ -6,15 +6,19 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "clouds/intervals.hpp"
+#include "data/dataset.hpp"
 #include "dc/driver.hpp"
 #include "dc/lpt.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
 
 namespace pdc {
 namespace {
@@ -213,6 +217,75 @@ TEST_P(IntervalDistributions, EquiDepthBucketsAreBalanced) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, IntervalDistributions,
                          ::testing::Values(0, 1, 2, 3));
+
+// ---- degenerate training inputs must not crash the parallel stack ----
+
+clouds::DecisionTree train_records(int p,
+                                   const std::vector<data::Record>& all) {
+  io::ScratchArena arena("degenerate", p);
+  mp::Runtime rt(p);
+  clouds::DecisionTree out;
+  std::mutex mu;
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    // Contiguous slices, possibly empty on the trailing ranks.
+    const std::size_t per =
+        (all.size() + static_cast<std::size_t>(p) - 1) /
+        static_cast<std::size_t>(p);
+    const std::size_t lo =
+        std::min(all.size(), static_cast<std::size_t>(comm.rank()) * per);
+    const std::size_t hi = std::min(all.size(), lo + per);
+    disk.write_file<data::Record>(
+        "train.dat", std::span<const data::Record>(all.data() + lo, hi - lo));
+    pclouds::PcloudsConfig cfg;
+    cfg.clouds.q_root = 50;
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
+                                       std::span<const data::Record>(all));
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      out = std::move(tree);
+    }
+  });
+  return out;
+}
+
+TEST(DegenerateInputs, EmptyDatasetYieldsASingleLeaf) {
+  const auto tree = train_records(2, {});
+  EXPECT_TRUE(tree.node(tree.root()).leaf);
+  EXPECT_EQ(tree.live_count(), 1u);
+}
+
+TEST(DegenerateInputs, SingleClassDataYieldsASingleLeaf) {
+  data::AgrawalGenerator gen({.function = 2, .seed = 5});
+  std::vector<data::Record> all;
+  for (std::uint64_t i = 0; all.size() < 300; ++i) {
+    auto r = gen.make(i);
+    r.label = 0;  // force purity
+    all.push_back(r);
+  }
+  const auto tree = train_records(3, all);
+  EXPECT_TRUE(tree.node(tree.root()).leaf);
+  EXPECT_EQ(tree.node(tree.root()).label, 0);
+}
+
+TEST(DegenerateInputs, MoreRanksThanRecordsStillTrains) {
+  data::AgrawalGenerator gen({.function = 2, .seed = 5});
+  const auto all = gen.make_range(0, 5);
+  const auto tree = train_records(8, all);
+  EXPECT_GE(tree.live_count(), 1u);
+  // Every training record must still be classified by *some* leaf.
+  for (const auto& r : all) {
+    const auto label = tree.classify(r);
+    EXPECT_TRUE(label == 0 || label == 1);
+  }
+}
+
+TEST(DegenerateInputs, SingleRecordDataset) {
+  data::AgrawalGenerator gen({.function = 2, .seed = 5});
+  const auto tree = train_records(2, gen.make_range(0, 1));
+  EXPECT_TRUE(tree.node(tree.root()).leaf);
+}
 
 }  // namespace
 }  // namespace pdc
