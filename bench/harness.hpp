@@ -25,6 +25,7 @@
 
 #include "clouds/metrics.hpp"
 #include "data/dataset.hpp"
+#include "io/pipeline.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/json.hpp"
@@ -67,6 +68,7 @@ struct ExpResult {
   double max_compute = 0.0;
   double max_comm = 0.0;
   double max_io = 0.0;
+  double io_hidden = 0.0;  ///< I/O overlapped away by the pipeline, all ranks
   double balance = 0.0;
   std::uint64_t bytes_read = 0;     ///< real bytes, training only, all ranks
   std::uint64_t bytes_written = 0;
@@ -105,11 +107,25 @@ inline std::uint64_t scaled(std::uint64_t records) {
   return records;
 }
 
+/// PDC_BENCH_PIPELINE=1 turns the async I/O pipeline on for every
+/// experiment point (default off, matching the synchronous oracle).  CI
+/// runs the suite both ways and checks pipelined <= synchronous.
+inline io::PipelineConfig bench_pipeline() {
+  io::PipelineConfig cfg;
+  if (const char* env = std::getenv("PDC_BENCH_PIPELINE")) {
+    cfg.enabled = std::atoi(env) != 0;
+  }
+  return cfg;
+}
+
 inline void emit_json_row(const ExpParams& params, const ExpResult& r);
 
 inline ExpResult run_experiment(const ExpParams& params) {
   io::ScratchArena arena("bench", params.p);
   mp::Runtime rt(params.p, params.machine);
+  // PDC_BENCH_PIPELINE applies to every point that did not opt in itself.
+  pclouds::PcloudsConfig cfg = params.cfg;
+  if (!cfg.clouds.pipeline.enabled) cfg.clouds.pipeline = bench_pipeline();
   data::AgrawalGenerator gen({.function = params.function, .seed = 404});
   data::DatasetPartition part(params.records, params.p);
   data::Sampler sampler(params.sample_rate, 17);
@@ -131,7 +147,7 @@ inline ExpResult run_experiment(const ExpParams& params) {
     comm.clock().reset();
 
     pclouds::PcloudsDiag diag;
-    auto tree = pclouds::pclouds_train(comm, params.cfg, disk, "train.dat",
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
                                        sample, &diag);
 
     std::lock_guard lock(mu);
@@ -154,6 +170,7 @@ inline ExpResult run_experiment(const ExpParams& params) {
   out.max_compute = report.max_compute();
   out.max_comm = report.max_comm();
   out.max_io = report.max_io();
+  out.io_hidden = report.total_io_hidden();
   out.balance = report.balance();
   emit_json_row(params, out);
   return out;
@@ -174,6 +191,7 @@ inline void emit_json_row(const ExpParams& params, const ExpResult& r) {
   row += ", \"max_compute_s\": " + obs::json_number(r.max_compute);
   row += ", \"max_comm_s\": " + obs::json_number(r.max_comm);
   row += ", \"max_io_s\": " + obs::json_number(r.max_io);
+  row += ", \"io_hidden_s\": " + obs::json_number(r.io_hidden);
   row += ", \"balance\": " + obs::json_number(r.balance);
   row += ", \"bytes_read\": " + std::to_string(r.bytes_read);
   row += ", \"bytes_written\": " + std::to_string(r.bytes_written);

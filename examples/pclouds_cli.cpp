@@ -10,7 +10,7 @@
 //                 [--save PATH] [--no-prune]
 //                 [--trace PATH] [--report PATH]
 //                 [--scratch DIR] [--checkpoint-every N] [--resume]
-//                 [--inject SPEC]
+//                 [--inject SPEC] [--pipeline on|off] [--queue-depth N]
 //
 // --trace writes a Chrome trace_event JSON of the modeled timeline (load in
 // Perfetto / chrome://tracing: one track per rank, spans for every phase and
@@ -40,6 +40,7 @@
 #include "clouds/model_io.hpp"
 #include "data/dataset.hpp"
 #include "fault/fault.hpp"
+#include "io/pipeline.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/report.hpp"
@@ -70,6 +71,8 @@ struct Options {
   std::uint64_t checkpoint_every = 0;
   bool resume = false;
   std::string inject;
+  bool pipeline = false;
+  std::size_t queue_depth = 2;
   bool help = false;
 };
 
@@ -100,6 +103,11 @@ void print_usage(std::FILE* to) {
       "  --inject SPEC            plant deterministic faults, e.g.\n"
       "                           disk_write:rank=1:op=3:times=2;comm_coll:"
       "op=5\n"
+      "  --pipeline on|off        async double-buffered block I/O (read-\n"
+      "                           ahead + write-behind; default off).  The\n"
+      "                           tree is identical either way; only the\n"
+      "                           modeled time changes\n"
+      "  --queue-depth N          in-flight blocks per stream (default 2)\n"
       "  --help                   this message\n");
 }
 
@@ -125,7 +133,8 @@ bool parse(int argc, char** argv, Options& opt) {
         arg == "--combiner" || arg == "--q" || arg == "--memory" ||
         arg == "--noise" || arg == "--sample" || arg == "--save" ||
         arg == "--trace" || arg == "--report" || arg == "--scratch" ||
-        arg == "--checkpoint-every" || arg == "--inject";
+        arg == "--checkpoint-every" || arg == "--inject" ||
+        arg == "--pipeline" || arg == "--queue-depth";
     if (!known) {
       std::fprintf(stderr, "pclouds_cli: unknown option: %s\n", arg.c_str());
       return false;
@@ -169,6 +178,22 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.checkpoint_every = std::strtoull(val, nullptr, 10);
     } else if (arg == "--inject") {
       opt.inject = val;
+    } else if (arg == "--pipeline") {
+      if (std::strcmp(val, "on") == 0) {
+        opt.pipeline = true;
+      } else if (std::strcmp(val, "off") == 0) {
+        opt.pipeline = false;
+      } else {
+        std::fprintf(stderr, "pclouds_cli: --pipeline wants on|off, got %s\n",
+                     val);
+        return false;
+      }
+    } else if (arg == "--queue-depth") {
+      opt.queue_depth = std::strtoull(val, nullptr, 10);
+      if (opt.queue_depth == 0) {
+        std::fprintf(stderr, "pclouds_cli: --queue-depth must be >= 1\n");
+        return false;
+      }
     }
   }
   if (opt.procs < 1) {
@@ -271,9 +296,13 @@ int main(int argc, char** argv) {
 
         clouds::DecisionTree local_tree;
         pclouds::PcloudsDiag local_diag;
+        io::PipelineConfig pipeline;
+        pipeline.enabled = opt.pipeline;
+        pipeline.queue_depth = opt.queue_depth;
         if (opt.classifier == "sprint") {
           sprint::SprintConfig cfg;
           cfg.memory_bytes = opt.memory;
+          cfg.pipeline = pipeline;
           sprint::SprintBuilder builder(
               cfg, {&comm.clock(), comm.cost().machine(), comm.tracer()});
           local_tree = builder.train(comm, disk, "train.dat");
@@ -293,6 +322,7 @@ int main(int argc, char** argv) {
           cfg.memory_bytes = opt.memory;
           cfg.checkpoint_every = opt.checkpoint_every;
           cfg.resume = opt.resume;
+          cfg.clouds.pipeline = pipeline;
           local_tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
                                               sample, &local_diag);
         }
@@ -375,6 +405,11 @@ int main(int argc, char** argv) {
               "balance %.3f)\n",
               report.parallel_time(), report.max_compute(),
               report.max_comm(), report.max_io(), report.balance());
+  if (opt.pipeline) {
+    std::printf("pipeline    : on (queue depth %zu), io hidden %.3f s over "
+                "all ranks\n",
+                opt.queue_depth, report.total_io_hidden());
+  }
 
   if (!opt.save_path.empty()) {
     clouds::save_tree(tree, opt.save_path);

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression guardrail for the async I/O pipeline.
+
+Takes two PDC_BENCH_JSON (JSONL) files from the same suite run with the
+pipeline off (the synchronous oracle) and on, matches experiment points by
+label, and fails when any pipelined point is slower in modeled parallel
+time than its synchronous twin (beyond a small tolerance), or when the
+pipelined run hid no I/O at all (which would mean the overlap machinery
+silently degraded to synchronous).
+
+Usage:
+    python3 scripts/check_bench.py sync.jsonl pipelined.jsonl
+"""
+
+import json
+import sys
+
+TOLERANCE = 1.001  # allow 0.1% modeled-time noise
+
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            rows[row["label"]] = row
+    if not rows:
+        sys.exit(f"check_bench: no rows in {path}")
+    return rows
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    sync = load(sys.argv[1])
+    pipe = load(sys.argv[2])
+
+    missing = sorted(set(sync) ^ set(pipe))
+    if missing:
+        sys.exit(f"check_bench: label mismatch between files: {missing}")
+
+    failures = []
+    total_hidden = 0.0
+    print(f"{'label':40s} {'sync_s':>10s} {'pipe_s':>10s} "
+          f"{'hidden_s':>10s} {'ratio':>7s}")
+    for label in sorted(sync):
+        s = sync[label]["parallel_time_s"]
+        p = pipe[label]["parallel_time_s"]
+        hidden = pipe[label].get("io_hidden_s", 0.0)
+        total_hidden += hidden
+        ratio = p / s if s > 0 else float("inf")
+        print(f"{label:40s} {s:10.4f} {p:10.4f} {hidden:10.4f} {ratio:7.3f}")
+        if p > s * TOLERANCE:
+            failures.append(f"{label}: pipelined {p:.4f}s > sync {s:.4f}s")
+
+    if total_hidden <= 0.0:
+        failures.append("pipelined suite hid zero I/O (io_hidden_s == 0 "
+                        "everywhere) — overlap is not happening")
+
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: OK — pipelined <= synchronous at every point")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Line-coverage floor check over gcov --json-format output.
+
+Walks a --coverage build tree for .gcda files, asks gcov for JSON
+intermediate records, aggregates executable-line coverage over the
+project's src/ tree (tests, benches, examples and third-party headers are
+excluded), and fails when the percentage drops below the floor.
+
+Usage:
+    python3 scripts/check_coverage.py --build build-cov --fail-under 70
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def gcov_json_docs(build_dir: Path):
+    """Yield parsed gcov JSON documents for every .gcda under build_dir."""
+    gcda_files = sorted(build_dir.rglob("*.gcda"))
+    if not gcda_files:
+        sys.exit(f"check_coverage: no .gcda files under {build_dir} — "
+                 "was the build configured with --coverage and tests run?")
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in gcda_files:
+            proc = subprocess.run(
+                ["gcov", "--json-format", "--stdout", str(gcda.resolve())],
+                capture_output=True, text=True, cwd=scratch, check=False)
+            if proc.returncode != 0:
+                print(f"check_coverage: gcov failed on {gcda}: "
+                      f"{proc.stderr.strip()}", file=sys.stderr)
+                continue
+            for line in proc.stdout.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build", type=Path)
+    ap.add_argument("--fail-under", default=70.0, type=float,
+                    help="minimum line coverage percent over src/")
+    ap.add_argument("--prefix", default="src/",
+                    help="only count files whose path contains this")
+    args = ap.parse_args()
+
+    # (file, line) -> max hit count across all translation units.
+    hits = {}
+    for doc in gcov_json_docs(args.build):
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            norm = os.path.normpath(path)
+            if f"{os.sep}{args.prefix}" not in f"{os.sep}{norm}":
+                continue
+            for ln in f.get("lines", []):
+                key = (norm, ln["line_number"])
+                hits[key] = max(hits.get(key, 0), ln["count"])
+
+    if not hits:
+        sys.exit(f"check_coverage: no lines matched prefix {args.prefix!r}")
+
+    per_file = {}
+    for (path, _line), count in hits.items():
+        covered, total = per_file.get(path, (0, 0))
+        per_file[path] = (covered + (1 if count > 0 else 0), total + 1)
+
+    covered = sum(c for c, _ in per_file.values())
+    total = sum(t for _, t in per_file.values())
+    pct = 100.0 * covered / total
+
+    for path in sorted(per_file):
+        c, t = per_file[path]
+        print(f"{100.0 * c / t:6.1f}%  {c:5d}/{t:<5d}  {path}")
+    print(f"\nTOTAL {pct:.2f}% line coverage "
+          f"({covered}/{total} lines, floor {args.fail_under}%)")
+
+    if pct < args.fail_under:
+        print(f"check_coverage: FAIL — {pct:.2f}% < {args.fail_under}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

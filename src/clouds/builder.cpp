@@ -162,11 +162,11 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
   // the parent's partitioning step).
   data::ClassCounts root_counts{};
   {
-    DiskSource src(disk, file, block);
+    DiskSource src(disk, file, block, cfg_.pipeline);
     src.scan([&](const data::Record& r) {
       ++root_counts[static_cast<std::size_t>(r.label)];
+      hooks_.charge_scan(1);
     });
-    hooks_.charge_scan(root_records);
   }
 
   DecisionTree tree(root_counts);
@@ -201,7 +201,7 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
     ++stats_.nodes_processed;
     ++stats_.out_of_core_nodes;
 
-    DiskSource source(disk, t.file, block);
+    DiskSource source(disk, t.file, block, cfg_.pipeline);
     const auto best =
         derive_split(source, t.sample, {}, n, root_records);
     if (!best.valid) {
@@ -219,9 +219,9 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
     data::ClassCounts lcounts{};
     data::ClassCounts rcounts{};
     {
-      io::RecordWriter<data::Record> lw(disk, lfile, block);
-      io::RecordWriter<data::Record> rw(disk, rfile, block);
-      DiskSource reread(disk, t.file, block);
+      io::BlockWriter<data::Record> lw(disk, lfile, block, cfg_.pipeline);
+      io::BlockWriter<data::Record> rw(disk, rfile, block, cfg_.pipeline);
+      DiskSource reread(disk, t.file, block, cfg_.pipeline);
       reread.scan([&](const data::Record& r) {
         if (best.split.goes_left(r)) {
           lw.append(r);
@@ -230,8 +230,8 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
           rw.append(r);
           ++rcounts[static_cast<std::size_t>(r.label)];
         }
+        hooks_.charge_scan(1);
       });
-      hooks_.charge_scan(n);
       stats_.records_scanned += n;
       lw.close();
       rw.close();

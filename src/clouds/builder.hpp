@@ -19,6 +19,7 @@
 #include "data/record.hpp"
 #include "io/local_disk.hpp"
 #include "io/memory_budget.hpp"
+#include "io/pipeline.hpp"
 
 namespace pdc::clouds {
 
@@ -42,6 +43,10 @@ struct CloudsConfig {
   double purity_stop = 1.0;   ///< leaf when max class fraction >= this
   std::int64_t min_records = 2;
   std::int32_t max_depth = 24;
+
+  /// Async double-buffered streaming for the out-of-core passes; off by
+  /// default (the synchronous path is the differential-test oracle).
+  io::PipelineConfig pipeline;
 
   /// Interval budget for a node of n records out of n_root.
   int q_for(std::uint64_t node_records, std::uint64_t root_records) const {

@@ -14,6 +14,7 @@
 
 #include "data/record.hpp"
 #include "io/local_disk.hpp"
+#include "io/pipeline.hpp"
 
 namespace pdc::clouds {
 
@@ -44,11 +45,16 @@ class MemorySource final : public RecordSource {
 
 class DiskSource final : public RecordSource {
  public:
-  DiskSource(io::LocalDisk& disk, std::string name, std::size_t block_records)
-      : disk_(&disk), name_(std::move(name)), block_records_(block_records) {}
+  DiskSource(io::LocalDisk& disk, std::string name, std::size_t block_records,
+             io::PipelineConfig pipeline = {})
+      : disk_(&disk),
+        name_(std::move(name)),
+        block_records_(block_records),
+        pipeline_(pipeline) {}
 
   void scan(const RecordFn& fn) override {
-    io::RecordReader<data::Record> reader(*disk_, name_, block_records_);
+    io::BlockReader<data::Record> reader(*disk_, name_, block_records_,
+                                         pipeline_);
     std::vector<data::Record> block;
     while (reader.next_block(block)) {
       for (const auto& r : block) fn(r);
@@ -63,6 +69,7 @@ class DiskSource final : public RecordSource {
   io::LocalDisk* disk_;
   std::string name_;
   std::size_t block_records_;
+  io::PipelineConfig pipeline_;
 };
 
 }  // namespace pdc::clouds

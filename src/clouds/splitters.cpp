@@ -27,10 +27,13 @@ void NodeStats::add(const data::Record& r) {
 void collect_stats(RecordSource& source, NodeStats& stats,
                    const CostHooks& hooks) {
   auto sp = hooks.span("histogram-build", "clouds");
-  source.scan([&](const data::Record& r) { stats.add(r); });
+  // Per-record charging (not one bulk charge after the pass) so compute
+  // accrues between block reaps — what the async pipeline hides I/O under.
+  source.scan([&](const data::Record& r) {
+    stats.add(r);
+    hooks.charge_scan(static_cast<std::uint64_t>(data::kNumAttributes));
+  });
   sp.set_n(source.count());
-  hooks.charge_scan(source.count() *
-                    static_cast<std::uint64_t>(data::kNumAttributes));
 }
 
 SplitCandidate evaluate_boundaries(const IntervalHist& hist, int attr,
@@ -177,8 +180,8 @@ SplitCandidate sse_split(const NodeStats& stats, RecordSource& source,
           ++harvested;
         }
       }
+      hooks.charge_scan(alive.size());
     });
-    hooks.charge_scan(source.count() * alive.size());
 
     for (std::size_t k = 0; k < alive.size(); ++k) {
       best.consider(

@@ -39,6 +39,7 @@
 #include "fault/checkpoint.hpp"
 #include "io/local_disk.hpp"
 #include "io/memory_budget.hpp"
+#include "io/pipeline.hpp"
 #include "mp/comm.hpp"
 #include "obs/trace.hpp"
 
@@ -75,6 +76,10 @@ struct DcConfig {
   /// Start from the newest snapshot that is valid on EVERY rank, if one
   /// exists on the ranks' disks; otherwise run from scratch.
   bool resume = false;
+  /// Async double-buffered streaming for the out-of-core hot paths
+  /// (statistics scans, partition pass, redistribution spool).  Off by
+  /// default: the synchronous path is the differential-test oracle.
+  io::PipelineConfig pipeline;
 };
 
 struct DcReport {
@@ -135,7 +140,7 @@ class DcDriver {
   typename DcProblem<T>::Scan make_scan(const std::string& file,
                                         std::size_t block) {
     return [this, file, block](const std::function<void(const T&)>& fn) {
-      io::RecordReader<T> reader(*disk_, file, block);
+      io::BlockReader<T> reader(*disk_, file, block, cfg_.pipeline);
       std::vector<T> buf;
       while (reader.next_block(buf)) {
         for (const auto& r : buf) fn(r);
@@ -179,8 +184,8 @@ class DcDriver {
     std::uint64_t ln = 0;
     std::uint64_t rn = 0;
     {
-      io::RecordWriter<T> lw(*disk_, left.file, block);
-      io::RecordWriter<T> rw(*disk_, right.file, block);
+      io::BlockWriter<T> lw(*disk_, left.file, block, cfg_.pipeline);
+      io::BlockWriter<T> rw(*disk_, right.file, block, cfg_.pipeline);
       make_scan(parent.file, block)([&](const T& rec) {
         if (router(rec) == 0) {
           lw.append(rec);
@@ -440,7 +445,7 @@ class DcDriver {
     const auto incoming = comm.all_to_all<T>(outgoing);
     Pending mine = own;
     mine.file = "dcg_" + std::to_string(own.task.id);
-    io::RecordWriter<T> writer(*disk_, mine.file, block);
+    io::BlockWriter<T> writer(*disk_, mine.file, block, cfg_.pipeline);
     for (const auto& from_rank : incoming) {
       writer.append(std::span<const T>(from_rank));
     }

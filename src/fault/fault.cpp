@@ -167,15 +167,27 @@ RankFault::RankFault(const FaultPlan* plan, int rank, const mp::Clock* clock)
   }
 }
 
-bool RankFault::matches(const FaultSpec& spec, FaultSite site) const {
+bool RankFault::matches(const FaultSpec& spec, FaultSite site,
+                        double now_s) const {
   if (spec.site != site) return false;
   if (spec.rank >= 0 && spec.rank != rank_) return false;
-  if (now() < spec.after_s) return false;
+  if (now_s < spec.after_s) return false;
   return ops_[static_cast<std::size_t>(site)] == spec.op;
 }
 
 DiskAction RankFault::on_disk(bool is_write) {
   if (!enabled()) return DiskAction::kProceed;
+  std::lock_guard<std::mutex> lock(mu_);
+  return on_disk_locked(is_write, now());
+}
+
+DiskAction RankFault::on_disk(bool is_write, double now_s) {
+  if (!enabled()) return DiskAction::kProceed;
+  std::lock_guard<std::mutex> lock(mu_);
+  return on_disk_locked(is_write, now_s);
+}
+
+DiskAction RankFault::on_disk_locked(bool is_write, double now_s) {
   const FaultSite site =
       is_write ? FaultSite::kDiskWrite : FaultSite::kDiskRead;
 
@@ -193,7 +205,7 @@ DiskAction RankFault::on_disk(bool is_write) {
   ++ops_[static_cast<std::size_t>(site)];
   for (std::size_t i = 0; i < plan_->specs().size(); ++i) {
     const auto& spec = plan_->specs()[i];
-    if (remaining_[i] != -1 || !matches(spec, site)) continue;
+    if (remaining_[i] != -1 || !matches(spec, site, now_s)) continue;
     ++injected_;
     if (spec.torn && is_write) {
       remaining_[i] = 0;
@@ -207,12 +219,13 @@ DiskAction RankFault::on_disk(bool is_write) {
 
 void RankFault::on_comm(std::string_view prim, bool collective) {
   if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   const FaultSite site =
       collective ? FaultSite::kCommCollective : FaultSite::kCommP2p;
   ++ops_[static_cast<std::size_t>(site)];
   for (std::size_t i = 0; i < plan_->specs().size(); ++i) {
     const auto& spec = plan_->specs()[i];
-    if (remaining_[i] != -1 || !matches(spec, site)) continue;
+    if (remaining_[i] != -1 || !matches(spec, site, now())) continue;
     remaining_[i] = 0;
     ++injected_;
     throw CommFault("injected comm fault: rank " + std::to_string(rank_) +

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -113,12 +114,28 @@ enum class DiskAction {
   kTear,           ///< write partial bytes, then die (throw, no retry)
 };
 
-/// Per-rank injector: thread-confined mutable counters over a shared
-/// FaultPlan.  A default-constructed RankFault is disabled and free.
+/// Per-rank injector: mutable counters over a shared FaultPlan.  State is
+/// guarded by an internal mutex because a rank's async I/O worker consults
+/// disk sites concurrently with the rank thread consulting comm sites (the
+/// per-site counters stay deterministic: each site class is only ever
+/// advanced from one thread, in program order).  A default-constructed
+/// RankFault is disabled and free.
 class RankFault {
  public:
   RankFault() = default;
   RankFault(const FaultPlan* plan, int rank, const mp::Clock* clock);
+
+  /// (Re)arm a default-constructed injector in place — RankFault owns a
+  /// mutex and is neither movable nor copyable, so containers hold it
+  /// default-constructed and arm it afterwards.
+  void init(const FaultPlan* plan, int rank, const mp::Clock* clock) {
+    plan_ = plan;
+    rank_ = rank;
+    clock_ = clock;
+    ops_ = {};
+    remaining_.assign(plan != nullptr ? plan->specs().size() : 0, -1);
+    injected_ = 0;
+  }
 
   bool enabled() const { return plan_ != nullptr && !plan_->specs().empty(); }
   int rank() const { return rank_; }
@@ -128,20 +145,31 @@ class RankFault {
   /// keep failing until the spec is spent.
   DiskAction on_disk(bool is_write);
 
+  /// Same, with an explicit modeled timestamp for `after_s` arming —
+  /// used from the async I/O worker, which must not read the rank's live
+  /// clock (the rank thread mutates it concurrently).  The caller passes
+  /// the request's issue-time snapshot instead.
+  DiskAction on_disk(bool is_write, double now_s);
+
   /// Consult at the entry of a communication primitive; throws CommFault
   /// when an armed spec fires.
   void on_comm(std::string_view prim, bool collective);
 
   /// Failures injected on this rank so far (all sites).
-  std::uint64_t injected() const { return injected_; }
+  std::uint64_t injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+  }
 
  private:
   double now() const { return clock_ ? clock_->total() : 0.0; }
-  bool matches(const FaultSpec& spec, FaultSite site) const;
+  bool matches(const FaultSpec& spec, FaultSite site, double now_s) const;
+  DiskAction on_disk_locked(bool is_write, double now_s);
 
   const FaultPlan* plan_ = nullptr;
   int rank_ = 0;
   const mp::Clock* clock_ = nullptr;
+  mutable std::mutex mu_;
   std::array<std::uint64_t, 4> ops_{};  ///< per-site operation counters
   /// Per spec: -1 = not yet triggered, otherwise failing attempts left.
   std::vector<int> remaining_;

@@ -1,0 +1,97 @@
+#include "io/async_engine.hpp"
+
+namespace pdc::io {
+
+AsyncEngine::~AsyncEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::shared_ptr<AsyncSlot> AsyncEngine::submit(AsyncRequest req) {
+  auto slot = std::make_shared<AsyncSlot>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker_.joinable()) {
+      worker_ = std::thread([this] { run(); });
+    }
+    queue_.emplace_back(std::move(req), slot);
+  }
+  cv_.notify_one();
+  return slot;
+}
+
+void AsyncEngine::run() {
+  for (;;) {
+    std::pair<AsyncRequest, std::shared_ptr<AsyncSlot>> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ with a drained queue: outstanding slots have all been
+        // published; nothing can be enqueued after the destructor ran.
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.second->complete(execute(item.first));
+  }
+}
+
+AsyncOutcome AsyncEngine::execute(const AsyncRequest& req) {
+  AsyncOutcome out;
+  if (req.poison && req.poison->load(std::memory_order_acquire)) {
+    out.status = AsyncStatus::kSkipped;
+    return out;
+  }
+
+  if (req.fault != nullptr && req.fault->enabled()) {
+    double backoff = req.retry.backoff_s;
+    for (int attempt = 1;; ++attempt) {
+      // Arm `after_s` specs against the request's modeled issue time plus
+      // the backoff accrued so far — the async analogue of the live clock
+      // the synchronous path reads between attempts.
+      const auto action =
+          req.fault->on_disk(req.is_write, req.issue_time_s + out.backoff_s);
+      if (action == fault::DiskAction::kProceed) break;
+      if (action == fault::DiskAction::kTear) {
+        const std::size_t torn = req.bytes / 2;
+        if (torn != 0) {
+          std::fwrite(req.src, 1, torn, req.file);
+        }
+        std::fflush(req.file);  // make the partial prefix durable
+        if (req.poison) req.poison->store(true, std::memory_order_release);
+        out.status = AsyncStatus::kTorn;
+        out.torn_bytes = torn;
+        return out;
+      }
+      ++out.failures;
+      if (attempt >= req.retry.max_attempts) {
+        if (req.poison) req.poison->store(true, std::memory_order_release);
+        out.status = AsyncStatus::kFailed;
+        return out;
+      }
+      out.backoff_s += backoff;
+      ++out.backoffs;
+      backoff *= req.retry.multiplier;
+    }
+  }
+
+  if (req.bytes != 0) {
+    const std::size_t done =
+        req.is_write ? std::fwrite(req.src, 1, req.bytes, req.file)
+                     : std::fread(req.dst, 1, req.bytes, req.file);
+    if (done != req.bytes) {
+      if (req.poison) req.poison->store(true, std::memory_order_release);
+      out.status = AsyncStatus::kIoError;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace pdc::io

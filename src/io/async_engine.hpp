@@ -1,0 +1,129 @@
+#pragma once
+
+// AsyncEngine: one background I/O worker per LocalDisk.
+//
+// The pipeline's prefetch and write-behind requests are enqueued FIFO from
+// the rank thread and executed in order on a single worker thread, so the
+// per-site fault-injection counters observe exactly the program-order
+// sequence of disk requests — scenarios replay deterministically even
+// though the real I/O happens off-thread.  The worker consults the fault
+// injector itself (faults genuinely fire on the prefetch thread) but never
+// touches the rank's modeled clock or tracer: every attempt's verdict,
+// retry backoff and tear is recorded into the request's AsyncOutcome, and
+// the rank thread books all modeled time when it reaps the completion.
+//
+// A torn or permanently-failed request poisons its stream: requests queued
+// behind it are skipped (no real I/O, no injector consult), mirroring the
+// synchronous path where the throw prevents later requests from ever being
+// issued.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+
+namespace pdc::io {
+
+/// How LocalDisk rides through transient disk faults: up to `max_attempts`
+/// tries per request, sleeping (on the modeled clock) `backoff_s` before
+/// the first retry and `multiplier`× more before each further one.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double backoff_s = 8e-3;  ///< ~ one disk positioning delay
+  double multiplier = 2.0;
+};
+
+enum class AsyncStatus {
+  kOk,       ///< real I/O performed (possibly after absorbed retries)
+  kFailed,   ///< injected failures exhausted the retry budget
+  kTorn,     ///< injected torn write: partial prefix on disk, stream dead
+  kSkipped,  ///< stream was already poisoned; nothing touched the disk
+  kIoError,  ///< the real fread/fwrite came up short
+};
+
+/// Everything the rank thread needs to settle one completed request:
+/// status plus the fault-retry ledger to mirror onto the modeled clock.
+struct AsyncOutcome {
+  AsyncStatus status = AsyncStatus::kOk;
+  int failures = 0;          ///< injected transient failures observed
+  int backoffs = 0;          ///< modeled backoff sleeps taken
+  double backoff_s = 0.0;    ///< total modeled backoff to charge
+  std::size_t torn_bytes = 0;  ///< bytes left on disk by a torn write
+};
+
+struct AsyncRequest {
+  std::FILE* file = nullptr;
+  bool is_write = false;
+  void* dst = nullptr;        ///< read destination (owned by the caller)
+  const void* src = nullptr;  ///< write source (owned by the caller)
+  std::size_t bytes = 0;
+  /// Modeled clock at enqueue; the worker uses it (plus accumulated
+  /// backoff) for `after_s` fault arming instead of reading the live clock.
+  double issue_time_s = 0.0;
+  std::string name;  ///< file name, for error messages only
+  fault::RankFault* fault = nullptr;
+  RetryPolicy retry{};
+  /// Shared per-stream tear/fail flag; set by the worker, checked before
+  /// every queued request of the same stream.
+  std::shared_ptr<std::atomic<bool>> poison;
+};
+
+/// Completion slot for one request; the caller blocks in wait() until the
+/// worker publishes the outcome.
+class AsyncSlot {
+ public:
+  const AsyncOutcome& wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return out_;
+  }
+
+ private:
+  friend class AsyncEngine;
+
+  void complete(const AsyncOutcome& out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out_ = out;
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  AsyncOutcome out_;
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine() = default;
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Enqueue one request; lazily starts the worker thread on first use
+  /// (a synchronous-only run never spawns it).
+  std::shared_ptr<AsyncSlot> submit(AsyncRequest req);
+
+ private:
+  void run();
+  static AsyncOutcome execute(const AsyncRequest& req);
+
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<AsyncRequest, std::shared_ptr<AsyncSlot>>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace pdc::io

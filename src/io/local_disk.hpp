@@ -16,6 +16,7 @@
 // partial prefix of the payload on disk and then throws — modeling a crash
 // mid-write, the case a checkpoint manifest exists to detect.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "io/async_engine.hpp"
 #include "io/iostats.hpp"
 #include "mp/clock.hpp"
 #include "mp/cost_model.hpp"
@@ -32,15 +34,6 @@
 #include "obs/trace.hpp"
 
 namespace pdc::io {
-
-/// How LocalDisk rides through transient disk faults: up to `max_attempts`
-/// tries per request, sleeping (on the modeled clock) `backoff_s` before
-/// the first retry and `multiplier`× more before each further one.
-struct RetryPolicy {
-  int max_attempts = 4;
-  double backoff_s = 8e-3;  ///< ~ one disk positioning delay
-  double multiplier = 2.0;
-};
 
 class LocalDisk {
  public:
@@ -128,6 +121,7 @@ class LocalDisk {
     const double t0 = clock_->total();
     clock_->add_io(cost_->disk_read(bytes));
     tracer_.complete("disk_read", "io", t0, clock_->total(), bytes);
+    device_busy_until_ = device_seen_now_ = clock_->total();
   }
 
   void charge_write(std::size_t bytes) {
@@ -136,6 +130,96 @@ class LocalDisk {
     const double t0 = clock_->total();
     clock_->add_io(cost_->disk_write(bytes));
     tracer_.complete("disk_write", "io", t0, clock_->total(), bytes);
+    device_busy_until_ = device_seen_now_ = clock_->total();
+  }
+
+  // ----------------------------------------------- async pipeline hooks ---
+  // Used by BlockReader/BlockWriter (io/pipeline.hpp).  The single modeled
+  // disk arm serves requests in issue order: plan_async() reserves the
+  // device timeline at enqueue, settle_async() books the outcome when the
+  // rank thread reaps the completion.
+
+  /// Modeled schedule of one async request: its device-service cost and
+  /// the absolute modeled time the single disk arm finishes it.
+  struct AsyncPlan {
+    double cost_s = 0.0;
+    double done_at_s = 0.0;
+  };
+
+  /// Reserve the device timeline for one async request issued "now".
+  AsyncPlan plan_async(std::size_t bytes, bool is_write) {
+    const double now = clock_->total();
+    if (now < device_seen_now_) {
+      // The rank clock moved backwards (e.g. a bench harness reset between
+      // materialization and training): restart the device timeline.
+      device_busy_until_ = now;
+    }
+    device_seen_now_ = now;
+    AsyncPlan plan;
+    plan.cost_s = is_write ? cost_->disk_write(bytes) : cost_->disk_read(bytes);
+    const double start = std::max(device_busy_until_, now);
+    plan.done_at_s = start + plan.cost_s;
+    device_busy_until_ = plan.done_at_s;
+    return plan;
+  }
+
+  /// Book one completed async request on the rank thread: mirror the
+  /// worker's retry ledger onto the modeled clock (parity with admit()),
+  /// charge the transfer overlap-aware (only the stall past `done_at_s`
+  /// advances the timeline; the hidden remainder lands in io_hidden_s),
+  /// and propagate injected permanent faults as fault::DiskFault.
+  void settle_async(const AsyncOutcome& out, const AsyncPlan& plan,
+                    std::size_t bytes, bool is_write,
+                    const std::string& name) {
+    if (out.status == AsyncStatus::kSkipped) return;
+    if (out.backoff_s > 0.0) {
+      const double t0 = clock_->total();
+      clock_->add_io(out.backoff_s);
+      tracer_.complete("disk_retry_backoff", "fault", t0, clock_->total());
+    }
+    if (out.backoffs > 0) {
+      tracer_.count("fault.disk_retries",
+                    static_cast<std::uint64_t>(out.backoffs));
+    }
+    if (out.failures > 0) {
+      tracer_.count("fault.disk_injected",
+                    static_cast<std::uint64_t>(out.failures));
+    }
+    switch (out.status) {
+      case AsyncStatus::kFailed:
+        throw fault::DiskFault(std::string("LocalDisk: ") +
+                               (is_write ? "write" : "read") + " of " + name +
+                               " failed after " + std::to_string(out.failures) +
+                               " attempts");
+      case AsyncStatus::kTorn:
+        tracer_.count("fault.disk_torn");
+        charge_write(out.torn_bytes);
+        throw fault::DiskFault("LocalDisk: torn write to " + name + " (" +
+                               std::to_string(out.torn_bytes) + "/" +
+                               std::to_string(bytes) + " bytes)");
+      case AsyncStatus::kIoError:
+        throw std::runtime_error(std::string("LocalDisk: short async ") +
+                                 (is_write ? "write to " : "read from ") +
+                                 name);
+      case AsyncStatus::kSkipped:
+      case AsyncStatus::kOk:
+        break;
+    }
+    if (out.failures > 0) tracer_.count("fault.disk_recovered");
+
+    if (is_write) {
+      ++stats_.write_ops;
+      stats_.bytes_written += bytes;
+    } else {
+      ++stats_.read_ops;
+      stats_.bytes_read += bytes;
+    }
+    const double t0 = clock_->total();
+    const double stall = std::max(0.0, plan.done_at_s - t0);
+    clock_->charge_io_overlapped(plan.cost_s, stall);
+    tracer_.complete(is_write ? "disk_write_async" : "disk_read_async", "io",
+                     t0, clock_->total(), bytes);
+    tracer_.counter("io.hidden_s", clock_->snapshot().io_hidden_s);
   }
 
  private:
@@ -150,6 +234,10 @@ class LocalDisk {
   friend class RecordWriter;
   template <mp::Wireable T>
   friend class RecordReader;
+  template <mp::Wireable T>
+  friend class BlockWriter;
+  template <mp::Wireable T>
+  friend class BlockReader;
 
   enum class Admit { kOk, kTear };
 
@@ -209,6 +297,12 @@ class LocalDisk {
   fault::RankFault* fault_ = nullptr;
   RetryPolicy retry_;
   IoStats stats_;
+  /// Background worker for the async pipeline (thread lazily started; a
+  /// synchronous-only run never spawns it).
+  AsyncEngine engine_;
+  /// Modeled single-disk-arm timeline for async scheduling.
+  double device_busy_until_ = 0.0;
+  double device_seen_now_ = 0.0;
 };
 
 /// Appends fixed-size records to a file, buffering `block_records` records

@@ -15,6 +15,10 @@ struct ClockSnapshot {
   double comm_s = 0.0;
   double io_s = 0.0;
   double idle_s = 0.0;
+  /// Modeled I/O seconds that overlapped with other work and therefore did
+  /// NOT advance the timeline (async pipeline accounting).  Bookkeeping
+  /// only — excluded from total() by construction.
+  double io_hidden_s = 0.0;
 
   double total() const { return compute_s + comm_s + io_s + idle_s; }
 };
@@ -25,6 +29,20 @@ class Clock {
   void add_comm(double s) { snap_.comm_s += s; }
   void add_io(double s) { snap_.io_s += s; }
   void add_idle(double s) { snap_.idle_s += s; }
+
+  /// Overlap-aware charge for one asynchronously-executed disk request of
+  /// modeled cost `io_cost_s` whose completion the rank had to wait
+  /// `stall_s` for (0 when the transfer finished under concurrent work).
+  /// Only the stall advances the timeline; the hidden remainder is booked
+  /// to io_hidden_s.  Per block this yields the max(compute, io) rule:
+  /// work charged between issue and reap plus the residual stall equals
+  /// max(work, io_cost).  Returns the hidden seconds.
+  double charge_io_overlapped(double io_cost_s, double stall_s) {
+    snap_.io_s += stall_s;
+    const double hidden = io_cost_s > stall_s ? io_cost_s - stall_s : 0.0;
+    snap_.io_hidden_s += hidden;
+    return hidden;
+  }
 
   /// Advance this clock to modeled time `t` (if in the future), booking the
   /// gap as idle time.  Used when a rank waits for a message or a barrier.

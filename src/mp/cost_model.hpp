@@ -68,6 +68,10 @@ class CostModel {
 
   double barrier(int p) const { return m_.tau * ceil_log2(p); }
 
+  /// Disk costs charge the rank's clock directly on the synchronous path;
+  /// under the async pipeline (io::PipelineConfig) the same values feed the
+  /// per-disk device timeline, and only the unhidden stall reaches the rank
+  /// (mp::Clock::charge_io_overlapped).
   double disk_read(std::size_t bytes) const {
     return m_.disk_access + m_.disk_mu * static_cast<double>(bytes);
   }

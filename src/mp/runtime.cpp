@@ -38,6 +38,12 @@ double SpmdReport::total_idle() const {
   return t;
 }
 
+double SpmdReport::total_io_hidden() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t += c.io_hidden_s;
+  return t;
+}
+
 double SpmdReport::balance() const {
   if (clocks.empty()) return 1.0;
   double max_busy = 0.0;
@@ -70,7 +76,7 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
   if (faults) {
     for (int r = 0; r < nprocs_; ++r) {
       const auto ur = static_cast<std::size_t>(r);
-      injectors[ur] = fault::RankFault(faults, r, &clocks[ur]);
+      injectors[ur].init(faults, r, &clocks[ur]);
     }
   }
 

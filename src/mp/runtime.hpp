@@ -40,6 +40,9 @@ struct SpmdReport {
   double max_comm() const;
   double max_io() const;
   double total_idle() const;
+  /// Modeled I/O hidden behind compute by the async pipeline, summed over
+  /// ranks.  Zero when the pipeline is off (every byte stalls the rank).
+  double total_io_hidden() const;
 
   /// Load-balance indicator in [0,1]: mean busy time / max busy time,
   /// where busy = compute + comm + io.

@@ -55,6 +55,7 @@ std::string RunReport::to_json() const {
            ", \"compute_s\": " + json_number(rk.clock.compute_s) +
            ", \"comm_s\": " + json_number(rk.clock.comm_s) +
            ", \"io_s\": " + json_number(rk.clock.io_s) +
+           ", \"io_hidden_s\": " + json_number(rk.clock.io_hidden_s) +
            ", \"idle_s\": " + json_number(rk.clock.idle_s) +
            ", \"total_s\": " + json_number(rk.clock.total()) +
            ", \"read_ops\": " + u64(rk.io.read_ops) +
@@ -137,6 +138,10 @@ RunReport RunReport::from_json(std::string_view text) {
     rk.clock.compute_s = rj.at("compute_s").as_number();
     rk.clock.comm_s = rj.at("comm_s").as_number();
     rk.clock.io_s = rj.at("io_s").as_number();
+    // Reports written before the async pipeline lack io_hidden_s.
+    if (const Json* hidden = rj.find("io_hidden_s")) {
+      rk.clock.io_hidden_s = hidden->as_number();
+    }
     rk.clock.idle_s = rj.at("idle_s").as_number();
     rk.io.read_ops = static_cast<std::size_t>(rj.at("read_ops").as_number());
     rk.io.write_ops = static_cast<std::size_t>(rj.at("write_ops").as_number());

@@ -11,7 +11,8 @@
 //     "schema": "pdc.run_report.v1",
 //     "classifier": "...", "nprocs": P, "records": N,
 //     "parallel_time_s": ..., "balance": ...,
-//     "ranks": [{"rank":0,"compute_s":..,"comm_s":..,"io_s":..,"idle_s":..,
+//     "ranks": [{"rank":0,"compute_s":..,"comm_s":..,"io_s":..,
+//                "io_hidden_s":..,"idle_s":..,
 //                "total_s":..,"read_ops":..,"write_ops":..,
 //                "bytes_read":..,"bytes_written":..}, ...],
 //     "tree": {"nodes":..,"leaves":..,"depth":..},

@@ -44,9 +44,7 @@ AliveOutcome evaluate_alive_parallel(
   // Harvest pass: route each local in-interval point to the owner.
   std::vector<std::vector<WirePoint>> outgoing(
       static_cast<std::size_t>(comm.size()));
-  std::uint64_t scanned = 0;
   scan([&](const data::Record& r) {
-    ++scanned;
     for (std::size_t i = 0; i < alive.size(); ++i) {
       const float v = r.num[static_cast<std::size_t>(alive[i].attr)];
       if (alive[i].contains(v)) {
@@ -55,8 +53,8 @@ AliveOutcome evaluate_alive_parallel(
         ++out.points_shipped;
       }
     }
+    hooks.charge_scan(alive.size());
   });
-  hooks.charge_scan(scanned * alive.size());
 
   const auto incoming = comm.all_to_all<WirePoint>(outgoing);
 

@@ -81,6 +81,7 @@ clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
   dcfg.memory_bytes = cfg.memory_bytes;
   dcfg.checkpoint_every = cfg.checkpoint_every;
   dcfg.resume = cfg.resume;
+  dcfg.pipeline = cfg.clouds.pipeline;
   dc::DcDriver<data::Record> driver(dcfg, disk);
   const auto report = driver.run(comm, problem, train_file);
 

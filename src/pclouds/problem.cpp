@@ -102,15 +102,17 @@ std::vector<std::byte> CloudsProblem::local_stats(const Scan& scan,
 
   if (sketch_mode()) {
     if (!ctx.filled) {
+      // Compute is charged per record inside the scan (not in one bulk
+      // charge afterwards) so the pipelined reader can hide each block's
+      // I/O under the previous block's processing.
       scan([&](const Record& r) {
         ++ctx.local.counts[static_cast<std::size_t>(r.label)];
         for (int a = 0; a < data::kNumNumeric; ++a) {
           ctx.sketches[static_cast<std::size_t>(a)].add(
               r.num[static_cast<std::size_t>(a)]);
         }
+        hooks_.charge_scan(static_cast<std::uint64_t>(data::kNumNumeric));
       });
-      hooks_.charge_scan(data::total(ctx.local.counts) *
-                         static_cast<std::uint64_t>(data::kNumNumeric));
       ctx.filled = true;
     } else if (ctx.prefilled) {
       ++diag_.prefilled_nodes;
@@ -119,9 +121,10 @@ std::vector<std::byte> CloudsProblem::local_stats(const Scan& scan,
   }
 
   if (!ctx.filled) {
-    scan([&](const Record& r) { ctx.local.add(r); });
-    hooks_.charge_scan(data::total(ctx.local.counts) *
-                       static_cast<std::uint64_t>(data::kNumAttributes));
+    scan([&](const Record& r) {
+      ctx.local.add(r);
+      hooks_.charge_scan(static_cast<std::uint64_t>(data::kNumAttributes));
+    });
     ctx.filled = true;
   } else if (ctx.prefilled) {
     ++diag_.prefilled_nodes;  // the pass the paper's partitioning saves
@@ -169,9 +172,10 @@ std::optional<CloudsProblem::Router> CloudsProblem::decide(
       hist.bounds = merged.sketches[static_cast<std::size_t>(a)].boundaries(q);
       hist.reset_counts();
     }
-    scan([&](const Record& r) { ctx.local.add(r); });
-    hooks_.charge_scan(data::total(ctx.local.counts) *
-                       static_cast<std::uint64_t>(data::kNumAttributes));
+    scan([&](const Record& r) {
+      ctx.local.add(r);
+      hooks_.charge_scan(static_cast<std::uint64_t>(data::kNumAttributes));
+    });
   }
 
   BoundaryDerivation bd;
@@ -264,22 +268,28 @@ std::optional<CloudsProblem::Router> CloudsProblem::decide(
   splits_[task.id] = best.split;
 
   const clouds::Split split = best.split;
+  // Routers charge their statistics work per record so the partition pass
+  // accrues compute between block reaps — the async writers hide their
+  // flushes under it.
+  const clouds::CostHooks hooks = hooks_;
   if (sketch_mode()) {
     TaskCtx* lp = &it->second.first;
     TaskCtx* rp = &it->second.second;
-    return Router([split, lp, rp](const Record& r) {
+    return Router([split, lp, rp, hooks](const Record& r) {
       TaskCtx* side = split.goes_left(r) ? lp : rp;
       ++side->local.counts[static_cast<std::size_t>(r.label)];
       for (int a = 0; a < data::kNumNumeric; ++a) {
         side->sketches[static_cast<std::size_t>(a)].add(
             r.num[static_cast<std::size_t>(a)]);
       }
+      hooks.charge_scan(static_cast<std::uint64_t>(data::kNumAttributes));
       return side == lp ? 0 : 1;
     });
   }
   NodeStats* lstats = &it->second.first.local;
   NodeStats* rstats = &it->second.second.local;
-  return Router([split, lstats, rstats](const Record& r) {
+  return Router([split, lstats, rstats, hooks](const Record& r) {
+    hooks.charge_scan(static_cast<std::uint64_t>(data::kNumAttributes));
     if (split.goes_left(r)) {
       lstats->add(r);
       return 0;
@@ -299,12 +309,8 @@ void CloudsProblem::on_split(mp::Comm& comm, const dc::Task& parent,
   pending_.erase(pending_it);
 
   // The router updated the children's statistics record by record during
-  // partitioning; charge that pass and combine the class counts globally so
-  // every rank grows an identical tree node.
-  hooks_.charge_scan(
-      static_cast<std::uint64_t>(data::total(lc.local.counts) +
-                                 data::total(rc.local.counts)) *
-      static_cast<std::uint64_t>(data::kNumAttributes));
+  // partitioning and charged that pass per record; combine the class counts
+  // globally so every rank grows an identical tree node.
   struct PairCounts {
     data::ClassCounts l, r;
   };

@@ -116,6 +116,17 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
                        static_cast<std::uint64_t>(data::kNumAttributes));
   }
 
+  // One whole-list disk request, matching write_file's request pattern;
+  // under the pipeline the write happens behind the caller's next sort.
+  auto write_list = [&](const std::string& name,
+                        std::span<const ListEntry> list) {
+    io::BlockWriter<ListEntry> w(disk, name,
+                                 std::max<std::size_t>(1, list.size()),
+                                 cfg_.pipeline);
+    w.append(list);
+    w.close();
+  };
+
   auto presort_span = hooks_.span("presort", "sprint", local_n);
   for (int a = 0; a < data::kNumNumeric; ++a) {
     std::vector<ListEntry> list(records.size());
@@ -128,7 +139,10 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
     list = mp::sample_sort(comm, std::move(list), entry_less);
     hooks_.charge_sort(list.size());  // receive-side merge
     for (const auto& e : list) root.portion.add(a, e.label);
-    disk.write_file<ListEntry>(list_file(a, 0), list);
+    // Write-behind: one whole-list request per attribute (same request
+    // pattern as the synchronous path), overlapped with the next
+    // attribute's sort when the pipeline is on.
+    write_list(list_file(a, 0), list);
   }
   for (int c = 0; c < data::kNumCategorical; ++c) {
     std::vector<ListEntry> list(records.size());
@@ -137,7 +151,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
                  static_cast<std::uint32_t>(rid_base + i),
                  records[i].label};
     }
-    disk.write_file<ListEntry>(list_file(data::kNumNumeric + c, 0), list);
+    write_list(list_file(data::kNumNumeric + c, 0), list);
   }
   records.clear();
   records.shrink_to_fit();
@@ -204,7 +218,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       ClassCounts left = before_of(a);
       const FirstValue successor = next_first(a);
 
-      io::RecordReader<ListEntry> reader(disk, list_file(a, w.id), block);
+      io::BlockReader<ListEntry> reader(disk, list_file(a, w.id), block,
+                                        cfg_.pipeline);
       std::vector<ListEntry> buf;
       bool have_run = false;
       float run_value = 0.0f;
@@ -230,10 +245,11 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
           ++left[static_cast<std::size_t>(e.label)];
           ++streamed;
         }
+        // Per-block charging: the next block's read-ahead hides under it.
+        hooks_.charge_scan(buf.size());
       }
       if (have_run) emit(run_value);
       local_diag.entries_streamed += streamed;
-      hooks_.charge_scan(streamed);
       hooks_.charge_gini(candidates);
     }
 
@@ -274,8 +290,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
           best.split.kind == Split::Kind::kNumeric
               ? best.split.attr
               : data::kNumNumeric + best.split.attr;
-      io::RecordReader<ListEntry> reader(disk, list_file(winner_file, w.id),
-                                         block);
+      io::BlockReader<ListEntry> reader(disk, list_file(winner_file, w.id),
+                                        block, cfg_.pipeline);
       std::vector<ListEntry> buf;
       while (reader.next_block(buf)) {
         for (const auto& e : buf) {
@@ -288,9 +304,8 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
           if (goes_left) my_left_rids.push_back(e.rid);
           local_diag.entries_streamed += 1;
         }
+        hooks_.charge_scan(buf.size());
       }
-      hooks_.charge_scan(disk.file_records<ListEntry>(
-          list_file(winner_file, w.id)));
     }
 
     // The rid exchange: the probing structure the non-winning lists need.
@@ -338,9 +353,12 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
     lw.cats = clouds::make_count_matrices();
     rw.cats = clouds::make_count_matrices();
     for (int f = 0; f < data::kNumAttributes; ++f) {
-      io::RecordReader<ListEntry> reader(disk, list_file(f, w.id), block);
-      io::RecordWriter<ListEntry> lwriter(disk, list_file(f, lw.id), block);
-      io::RecordWriter<ListEntry> rwriter(disk, list_file(f, rw.id), block);
+      io::BlockReader<ListEntry> reader(disk, list_file(f, w.id), block,
+                                        cfg_.pipeline);
+      io::BlockWriter<ListEntry> lwriter(disk, list_file(f, lw.id), block,
+                                         cfg_.pipeline);
+      io::BlockWriter<ListEntry> rwriter(disk, list_file(f, rw.id), block,
+                                         cfg_.pipeline);
 
       // Distributed membership is a collective per block, so every rank
       // must run the same number of block rounds.
@@ -406,9 +424,9 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
           }
           ++streamed;
         }
+        hooks_.charge_scan(buf.size());
       }
       local_diag.entries_streamed += streamed;
-      hooks_.charge_scan(streamed);
       lwriter.close();
       rwriter.close();
       disk.remove(list_file(f, w.id));

@@ -27,6 +27,7 @@
 #include "clouds/cost_hooks.hpp"
 #include "clouds/tree.hpp"
 #include "io/local_disk.hpp"
+#include "io/pipeline.hpp"
 #include "mp/comm.hpp"
 
 namespace pdc::sprint {
@@ -49,6 +50,9 @@ struct SprintConfig {
   double purity_stop = 1.0;
   std::size_t memory_bytes = 1 << 20;  ///< per-rank streaming budget
   RidExchange rid_exchange = RidExchange::kReplicated;
+  /// Async double-buffered streaming for attribute-list I/O (presort
+  /// write-behind, sweep/partition read-ahead); off = synchronous oracle.
+  io::PipelineConfig pipeline;
 };
 
 struct SprintDiag {

@@ -1,0 +1,208 @@
+// Golden-schema tests for the two machine-readable artifacts: the
+// pdc.run_report.v1 JSON document and the Chrome trace_event JSON.
+//
+// The goldens (tests/golden/*.golden.json) pin the KEY STRUCTURE, not the
+// values: a document is reduced to a canonical shape string (object keys in
+// document order mapped to their value shapes; arrays collapsed to the
+// deduplicated set of element shapes; the dynamic-key maps "counters",
+// "gauges", "histograms" and "args" collapsed to the shapes of their
+// values).  Renaming, adding or dropping a field breaks the test; numeric
+// drift never does.  Regenerate with PDC_UPDATE_GOLDEN=1 after a deliberate
+// schema change and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clouds/metrics.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "pclouds/pclouds.hpp"
+
+#ifndef PDC_GOLDEN_DIR
+#error "PDC_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+
+namespace pdc {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool dynamic_key_map(const std::string& key) {
+  return key == "counters" || key == "gauges" || key == "histograms" ||
+         key == "args";
+}
+
+std::string shape_of(const obs::Json& j, bool collapse_keys = false) {
+  switch (j.type()) {
+    case obs::Json::Type::kNull:
+      return "null";
+    case obs::Json::Type::kBool:
+      return "bool";
+    case obs::Json::Type::kNumber:
+      return "num";
+    case obs::Json::Type::kString:
+      return "str";
+    case obs::Json::Type::kArray: {
+      std::set<std::string> shapes;
+      for (const auto& e : j.items()) shapes.insert(shape_of(e));
+      std::string out = "[";
+      for (const auto& s : shapes) out += s + ";";
+      return out + "]";
+    }
+    case obs::Json::Type::kObject: {
+      if (collapse_keys) {
+        std::set<std::string> shapes;
+        for (const auto& [k, v] : j.members()) shapes.insert(shape_of(v));
+        std::string out = "{*:";
+        for (const auto& s : shapes) out += s + ";";
+        return out + "}";
+      }
+      std::string out = "{";
+      for (const auto& [k, v] : j.members()) {
+        out += k + ":" + shape_of(v, dynamic_key_map(k)) + ",";
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+std::string read_text(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// One small traced pCLOUDS run (pipeline on, so the schema exercises the
+/// overlap counters) producing both artifacts.
+struct Artifacts {
+  std::string report_json;
+  std::string trace_json;
+};
+
+Artifacts generate() {
+  const int p = 2;
+  const std::uint64_t n = 2000;
+  io::ScratchArena arena("golden", p);
+  mp::Runtime rt(p);
+  obs::Tracer tracer(p);
+  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  data::DatasetPartition part(n, p);
+  data::Sampler sampler(0.05, 4);
+
+  std::vector<io::IoStats> rank_io(static_cast<std::size_t>(p));
+  clouds::TreeShape shape;
+  std::mutex mu;
+  const auto report = rt.run(
+      [&](mp::Comm& comm) {
+        io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                           &comm.clock(), comm.tracer());
+        data::materialize_local_slice(gen, part, comm.rank(), disk,
+                                      "train.dat", 1024);
+        const auto sample =
+            data::draw_local_sample(gen, part, sampler, comm.rank());
+        pclouds::PcloudsConfig cfg;
+        cfg.clouds.q_root = 200;
+        cfg.memory_bytes = 32 << 10;
+        cfg.clouds.pipeline.enabled = true;
+        auto tree =
+            pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+        rank_io[static_cast<std::size_t>(comm.rank())] = disk.stats();
+        if (comm.rank() == 0) {
+          std::lock_guard lock(mu);
+          shape = clouds::shape_of(tree);
+        }
+      },
+      &tracer);
+
+  obs::RunReport run;
+  run.classifier = "pclouds";
+  run.nprocs = p;
+  run.records = n;
+  for (std::size_t r = 0; r < report.clocks.size(); ++r) {
+    run.ranks.push_back({report.clocks[r], rank_io[r]});
+  }
+  run.tree.nodes = shape.nodes;
+  run.tree.leaves = shape.leaves;
+  run.tree.depth = shape.depth;
+  run.accuracy = 0.9;  // presence, not value, is the schema property
+  run.metrics = tracer.merged_metrics();
+
+  Artifacts out;
+  out.report_json = run.to_json();
+  out.trace_json = tracer.chrome_json();
+  return out;
+}
+
+class GoldenSchema : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { artifacts_ = new Artifacts(generate()); }
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    artifacts_ = nullptr;
+  }
+  static Artifacts* artifacts_;
+};
+
+Artifacts* GoldenSchema::artifacts_ = nullptr;
+
+void check_against_golden(const std::string& actual_json,
+                          const char* golden_name) {
+  const fs::path golden_path = fs::path(PDC_GOLDEN_DIR) / golden_name;
+  if (std::getenv("PDC_UPDATE_GOLDEN") != nullptr) {
+    fs::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path, std::ios::binary);
+    out << actual_json;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    return;
+  }
+  const std::string golden_text = read_text(golden_path);
+  ASSERT_FALSE(golden_text.empty())
+      << "missing golden " << golden_path
+      << " (regenerate with PDC_UPDATE_GOLDEN=1)";
+  const auto golden_shape = shape_of(obs::Json::parse(golden_text));
+  const auto actual_shape = shape_of(obs::Json::parse(actual_json));
+  EXPECT_EQ(actual_shape, golden_shape)
+      << "schema drift vs " << golden_name
+      << " — if intended, regenerate with PDC_UPDATE_GOLDEN=1 and commit";
+}
+
+TEST_F(GoldenSchema, RunReportKeyStructureMatchesGolden) {
+  check_against_golden(artifacts_->report_json, "run_report.golden.json");
+}
+
+TEST_F(GoldenSchema, ChromeTraceKeyStructureMatchesGolden) {
+  check_against_golden(artifacts_->trace_json, "trace.golden.json");
+}
+
+TEST_F(GoldenSchema, RunReportRoundTripsThroughParse) {
+  const auto back = obs::RunReport::from_json(artifacts_->report_json);
+  EXPECT_EQ(back.to_json(), artifacts_->report_json);
+  // The pipelined run recorded hidden I/O and it survives the round trip.
+  double hidden = 0.0;
+  for (const auto& r : back.ranks) hidden += r.clock.io_hidden_s;
+  EXPECT_GT(hidden, 0.0);
+}
+
+TEST(GoldenShape, CollapsesDynamicMapsAndArrays) {
+  const auto a = obs::Json::parse(
+      R"({"counters": {"x": 1, "y": 2}, "v": [1, 2, 3]})");
+  const auto b = obs::Json::parse(R"({"counters": {"z": 9}, "v": [7]})");
+  EXPECT_EQ(shape_of(a), shape_of(b));
+  const auto c = obs::Json::parse(R"({"counters": {"z": "s"}, "v": [7]})");
+  EXPECT_NE(shape_of(a), shape_of(c));
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,426 @@
+// The async double-buffered I/O pipeline against its synchronous oracle.
+//
+//  - Property sweep: for 100 random (block size, queue depth, record count)
+//    instances — including empty files and files smaller than one block —
+//    the pipelined BlockReader/BlockWriter move byte-identical data and
+//    issue the same requests as the synchronous stream classes.
+//  - Modeled time: overlap accounting never charges more than the
+//    synchronous path, and a compute-heavy consumer hides I/O (io_hidden).
+//  - Whole-classifier differential: pCLOUDS and pSPRINT grow byte-identical
+//    trees (and byte-identical saved models) with the pipeline on and off.
+//  - Fault matrix: faults whose Nth-op trigger lands on the prefetch
+//    thread are injected, retried and charged exactly like synchronous
+//    ones; a spent retry budget surfaces as DiskFault at the reap point,
+//    and requests queued behind the failure are skipped, not executed.
+//  - Perf regression (label: perf): at p = 8 the pipelined build is
+//    strictly faster in modeled time with nonzero hidden I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "clouds/model_io.hpp"
+#include "data/dataset.hpp"
+#include "fault/fault.hpp"
+#include "io/local_disk.hpp"
+#include "io/pipeline.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+#include "sprint/sprint.hpp"
+
+namespace pdc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rig {
+  explicit Rig(const char* tag, fault::RankFault* fault = nullptr)
+      : arena(tag, 1),
+        cost(mp::Machine::sp2_like()),
+        disk(arena.rank_dir(0), &cost, &clock, {}, fault) {}
+
+  io::ScratchArena arena;
+  mp::CostModel cost;
+  mp::Clock clock;
+  io::LocalDisk disk;
+};
+
+std::vector<std::int64_t> read_all_pipelined(io::LocalDisk& disk,
+                                             const std::string& name,
+                                             std::size_t block,
+                                             std::size_t depth) {
+  io::PipelineConfig cfg;
+  cfg.enabled = true;
+  cfg.queue_depth = depth;
+  io::BlockReader<std::int64_t> r(disk, name, block, cfg);
+  std::vector<std::int64_t> all;
+  std::vector<std::int64_t> blk;
+  while (r.next_block(blk)) all.insert(all.end(), blk.begin(), blk.end());
+  return all;
+}
+
+// ---- Property sweep: random instances, pipelined == synchronous ----
+
+TEST(PipelineProperty, RandomInstancesMatchSynchronousByteForByte) {
+  std::mt19937_64 rng(2026);
+  Rig sync_rig("pipe_prop_sync");
+  Rig pipe_rig("pipe_prop_async");
+  for (int iter = 0; iter < 100; ++iter) {
+    // First instances pin the edge cases: empty file, single record, and a
+    // file smaller than one block; the rest are random.
+    const std::size_t n = iter == 0   ? 0
+                          : iter == 1 ? 1
+                          : iter == 2 ? 5
+                                      : rng() % 4000;
+    const std::size_t block = iter == 2 ? 64 : 1 + rng() % 512;
+    const std::size_t depth = 1 + rng() % 4;
+    std::vector<std::int64_t> data(n);
+    for (auto& v : data) v = static_cast<std::int64_t>(rng());
+
+    const std::string name = "f" + std::to_string(iter) + ".bin";
+    io::PipelineConfig on;
+    on.enabled = true;
+    on.queue_depth = depth;
+
+    // Write: synchronous RecordWriter vs pipelined BlockWriter.
+    {
+      io::RecordWriter<std::int64_t> w(sync_rig.disk, name, block);
+      for (auto v : data) w.append(v);
+    }
+    {
+      io::BlockWriter<std::int64_t> w(pipe_rig.disk, name, block, on);
+      for (auto v : data) w.append(v);
+      EXPECT_EQ(w.count(), n);
+      w.close();
+    }
+    EXPECT_EQ(pipe_rig.disk.read_file<std::int64_t>(name), data)
+        << "write iter=" << iter << " n=" << n << " block=" << block
+        << " depth=" << depth;
+    EXPECT_EQ(pipe_rig.disk.file_bytes(name), sync_rig.disk.file_bytes(name));
+
+    // Read back pipelined from both disks; both must equal the original.
+    EXPECT_EQ(read_all_pipelined(pipe_rig.disk, name, block, depth), data)
+        << "read iter=" << iter << " n=" << n << " block=" << block
+        << " depth=" << depth;
+  }
+  // Same logical requests -> same real op counts and byte totals.
+  EXPECT_EQ(pipe_rig.disk.stats().write_ops, sync_rig.disk.stats().write_ops);
+  EXPECT_EQ(pipe_rig.disk.stats().bytes_written,
+            sync_rig.disk.stats().bytes_written);
+}
+
+TEST(PipelineProperty, EmptyFileYieldsNoBlocksAndNoRequests) {
+  Rig rig("pipe_empty");
+  { io::RecordWriter<int> w(rig.disk, "e.bin", 8); }
+  const auto pre = rig.disk.stats();
+  io::PipelineConfig on;
+  on.enabled = true;
+  io::BlockReader<int> r(rig.disk, "e.bin", 8, on);
+  std::vector<int> blk;
+  EXPECT_FALSE(r.next_block(blk));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(rig.disk.stats().read_ops, pre.read_ops);
+}
+
+// ---- Modeled-time accounting ----
+
+TEST(PipelineClock, NoComputeBetweenReapsChargesTheSynchronousCost) {
+  // With nothing to overlap against, the stall equals the full device cost:
+  // the pipeline can never charge less total time than the device needs.
+  Rig sync_rig("pipe_clock_sync");
+  Rig pipe_rig("pipe_clock_async");
+  std::vector<std::int64_t> data(3000, 7);
+  sync_rig.disk.write_file<std::int64_t>("c.bin", data);
+  pipe_rig.disk.write_file<std::int64_t>("c.bin", data);
+  const double sync0 = sync_rig.clock.snapshot().io_s;
+  const double pipe0 = pipe_rig.clock.snapshot().io_s;
+
+  {
+    io::RecordReader<std::int64_t> r(sync_rig.disk, "c.bin", 256);
+    std::vector<std::int64_t> blk;
+    while (r.next_block(blk)) {
+    }
+  }
+  (void)read_all_pipelined(pipe_rig.disk, "c.bin", 256, 2);
+
+  const double sync_io = sync_rig.clock.snapshot().io_s - sync0;
+  const double pipe_io = pipe_rig.clock.snapshot().io_s - pipe0;
+  EXPECT_NEAR(pipe_io, sync_io, 1e-9 * sync_io);
+  // Rounding in the stall subtraction (done_at - total()) can leave an
+  // ulp-scale residue; anything material would mean phantom overlap.
+  EXPECT_LT(pipe_rig.clock.snapshot().io_hidden_s, 1e-12);
+}
+
+TEST(PipelineClock, ComputeBetweenReapsHidesIo) {
+  Rig rig("pipe_hide");
+  std::vector<std::int64_t> data(4000, 1);
+  rig.disk.write_file<std::int64_t>("h.bin", data);
+  const double io0 = rig.clock.snapshot().io_s;
+
+  io::PipelineConfig on;
+  on.enabled = true;
+  io::BlockReader<std::int64_t> r(rig.disk, "h.bin", 500, on);
+  std::vector<std::int64_t> blk;
+  double sync_equivalent = 0.0;
+  while (r.next_block(blk)) {
+    sync_equivalent += rig.cost.disk_read(blk.size() * sizeof(std::int64_t));
+    // A consumer that computes on every record: the next block's read-ahead
+    // proceeds on the modeled device while this accrues.
+    rig.clock.add_compute(static_cast<double>(blk.size()) *
+                          rig.cost.machine().cpu_scan_op);
+  }
+  const auto snap = rig.clock.snapshot();
+  EXPECT_GT(snap.io_hidden_s, 0.0);
+  // Charged stall + hidden together cover exactly the device's work.
+  EXPECT_NEAR((snap.io_s - io0) + snap.io_hidden_s, sync_equivalent,
+              1e-9 * sync_equivalent);
+  // io_hidden is informational: it never enters the timeline position.
+  EXPECT_DOUBLE_EQ(snap.total(),
+                   snap.compute_s + snap.comm_s + snap.io_s + snap.idle_s);
+}
+
+// ---- Whole-classifier differential: pipeline on/off ----
+
+std::string tree_bytes(const clouds::DecisionTree& tree) {
+  const auto nodes = tree.serialize();
+  std::string out(nodes.size() * sizeof(clouds::TreeNode), '\0');
+  if (!nodes.empty()) std::memcpy(out.data(), nodes.data(), out.size());
+  return out;
+}
+
+std::string file_bytes_of(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+struct TrainResult {
+  std::string tree;
+  double parallel_time = 0.0;
+  double io_hidden = 0.0;
+};
+
+TrainResult run_pclouds(int p, std::uint64_t n, bool pipelined,
+                        const fs::path& save_to = {}) {
+  io::ScratchArena arena("pipe_diff", p);
+  mp::Runtime rt(p);
+  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  data::DatasetPartition part(n, p);
+  data::Sampler sampler(0.05, 4);
+
+  TrainResult out;
+  std::mutex mu;
+  const auto report = rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  2048);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+    pclouds::PcloudsConfig cfg;
+    cfg.clouds.q_root = 400;
+    cfg.memory_bytes = 64 << 10;
+    cfg.clouds.pipeline.enabled = pipelined;
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      out.tree = tree_bytes(tree);
+      if (!save_to.empty()) clouds::save_tree(tree, save_to);
+    }
+  });
+  out.parallel_time = report.parallel_time();
+  out.io_hidden = report.total_io_hidden();
+  return out;
+}
+
+TEST(PipelineDifferential, PcloudsTreeIsByteIdenticalPipelineOnOff) {
+  io::ScratchArena models("pipe_models", 1);
+  const fs::path off_path = models.rank_dir(0) / "off.tree";
+  const fs::path on_path = models.rank_dir(0) / "on.tree";
+  const auto off = run_pclouds(2, 4000, false, off_path);
+  const auto on = run_pclouds(2, 4000, true, on_path);
+  ASSERT_FALSE(off.tree.empty());
+  EXPECT_EQ(off.tree, on.tree);
+  // The saved model files — header and payload — are byte-identical too.
+  const auto off_bytes = file_bytes_of(off_path);
+  ASSERT_FALSE(off_bytes.empty());
+  EXPECT_EQ(off_bytes, file_bytes_of(on_path));
+  EXPECT_DOUBLE_EQ(off.io_hidden, 0.0);
+  EXPECT_GT(on.io_hidden, 0.0);
+}
+
+TEST(PipelineDifferential, SprintTreeIsByteIdenticalPipelineOnOff) {
+  auto run = [](bool pipelined) {
+    const int p = 2;
+    io::ScratchArena arena("pipe_sprint", p);
+    mp::Runtime rt(p);
+    data::AgrawalGenerator gen({.function = 2, .seed = 5});
+    data::DatasetPartition part(3000, p);
+    std::string bytes;
+    std::mutex mu;
+    rt.run([&](mp::Comm& comm) {
+      io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                         &comm.clock());
+      data::materialize_local_slice(gen, part, comm.rank(), disk,
+                                    "train.dat", 1024);
+      sprint::SprintConfig cfg;
+      cfg.memory_bytes = 32 << 10;
+      cfg.pipeline.enabled = pipelined;
+      sprint::SprintBuilder builder(cfg);
+      auto tree = builder.train(comm, disk, "train.dat");
+      if (comm.rank() == 0) {
+        std::lock_guard lock(mu);
+        bytes = tree_bytes(tree);
+      }
+    });
+    return bytes;
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
+}
+
+// ---- Faults landing on the prefetch thread ----
+
+TEST(PipelineFault, RecoveredFaultOnPrefetchThreadRetriesAndCharges) {
+  const auto plan = fault::FaultPlan::parse("disk_read:op=2:times=2");
+  fault::RankFault f(&plan, 0, nullptr);
+  Rig rig("pipe_fault_rec", &f);
+  std::vector<std::int64_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::int64_t>(i);
+  }
+  rig.disk.write_file<std::int64_t>("r.bin", data);
+
+  const double io0 = rig.clock.snapshot().io_s;
+  EXPECT_EQ(read_all_pipelined(rig.disk, "r.bin", 256, 3), data);
+  EXPECT_EQ(f.injected(), 2u);
+  // Two failed attempts -> two backoffs (8 ms, then 16 ms) charged to the
+  // modeled clock exactly as on the synchronous path.
+  EXPECT_GE(rig.clock.snapshot().io_s - io0, 8e-3 + 16e-3);
+}
+
+TEST(PipelineFault, ExhaustedRetriesSurfaceAtReapAndPoisonTheQueue) {
+  // Spec 2 (op=3) would fire if the queued third request were ever
+  // consulted; the poisoned stream must skip it without touching the
+  // injector or the file.
+  const auto plan =
+      fault::FaultPlan::parse("disk_read:op=2:times=4;disk_read:op=3");
+  fault::RankFault f(&plan, 0, nullptr);
+  Rig rig("pipe_fault_fatal", &f);
+  rig.disk.write_file<std::int64_t>("x.bin",
+                                    std::vector<std::int64_t>(1000, 3));
+
+  io::PipelineConfig on;
+  on.enabled = true;
+  on.queue_depth = 3;
+  std::vector<std::int64_t> blk;
+  EXPECT_THROW(
+      {
+        io::BlockReader<std::int64_t> r(rig.disk, "x.bin", 256, on);
+        while (r.next_block(blk)) {
+        }
+      },
+      fault::DiskFault);
+  // Only the first request settled successfully; op 2 burned the whole
+  // retry budget; ops 3 and 4 were skipped behind the poison flag.
+  EXPECT_EQ(rig.disk.stats().read_ops, 1u);
+  EXPECT_EQ(f.injected(), 4u);
+}
+
+TEST(PipelineFault, TornWriteBehindTruncatesAndThrowsOnClose) {
+  const auto plan = fault::FaultPlan::parse("disk_write:op=2:torn");
+  fault::RankFault f(&plan, 0, nullptr);
+  Rig rig("pipe_fault_torn", &f);
+
+  io::PipelineConfig on;
+  on.enabled = true;
+  io::BlockWriter<std::int64_t> w(rig.disk, "t.bin", 128, on);
+  for (int i = 0; i < 256; ++i) w.append(static_cast<std::int64_t>(i));
+  EXPECT_THROW(w.close(), fault::DiskFault);
+  // Block 1 landed whole; block 2 tore at half: 128 + 64 records on disk.
+  EXPECT_EQ(rig.disk.file_bytes("t.bin"), (128 + 64) * sizeof(std::int64_t));
+}
+
+TEST(PipelineFault, SameFaultPlanSameOutcomePipelinedOrNot) {
+  // The worker consults the per-site op counters in program order, so a
+  // plan aimed at the Nth read hits the same logical request either way.
+  auto run = [](bool pipelined) {
+    const auto plan = fault::FaultPlan::parse("disk_read:op=3:times=2");
+    fault::RankFault f(&plan, 0, nullptr);
+    Rig rig("pipe_fault_parity", &f);
+    std::vector<std::int64_t> data(2000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::int64_t>(i * 7);
+    }
+    rig.disk.write_file<std::int64_t>("p.bin", data);
+    std::vector<std::int64_t> got;
+    if (pipelined) {
+      got = read_all_pipelined(rig.disk, "p.bin", 300, 2);
+    } else {
+      io::RecordReader<std::int64_t> r(rig.disk, "p.bin", 300);
+      std::vector<std::int64_t> blk;
+      while (r.next_block(blk)) got.insert(got.end(), blk.begin(), blk.end());
+    }
+    return std::pair{got, f.injected()};
+  };
+  const auto sync = run(false);
+  const auto pipe = run(true);
+  EXPECT_EQ(sync.first, pipe.first);
+  EXPECT_EQ(sync.second, pipe.second);
+  EXPECT_EQ(sync.second, 2u);
+}
+
+TEST(PipelineFault, FaultDuringPipelinedTrainingAbortsCleanly) {
+  // An unrecoverable read fault in the middle of a pipelined pCLOUDS build
+  // must abort the whole run (no hang, no torn state) exactly like the
+  // synchronous path does.
+  const int p = 2;
+  io::ScratchArena arena("pipe_fault_train", p);
+  mp::Runtime rt(p);
+  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  data::DatasetPartition part(3000, p);
+  data::Sampler sampler(0.05, 4);
+  const auto faults = fault::FaultPlan::parse("disk_read:rank=1:op=4:times=4");
+
+  EXPECT_THROW(
+      rt.run(
+          [&](mp::Comm& comm) {
+            io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                               &comm.clock(), {}, comm.fault());
+            data::materialize_local_slice(gen, part, comm.rank(), disk,
+                                          "train.dat", 1024);
+            const auto sample =
+                data::draw_local_sample(gen, part, sampler, comm.rank());
+            pclouds::PcloudsConfig cfg;
+            cfg.clouds.q_root = 200;
+            cfg.memory_bytes = 32 << 10;
+            cfg.clouds.pipeline.enabled = true;
+            (void)pclouds::pclouds_train(comm, cfg, disk, "train.dat",
+                                         sample);
+          },
+          nullptr, &faults),
+      fault::DiskFault);
+}
+
+// ---- Perf regression (ctest label: perf) ----
+
+TEST(PipelinePerf, PipelinedBuildIsStrictlyFasterAtEightRanks) {
+  const auto sync = run_pclouds(8, 6000, false);
+  const auto pipe = run_pclouds(8, 6000, true);
+  ASSERT_EQ(sync.tree, pipe.tree);
+  EXPECT_GT(pipe.io_hidden, 0.0);
+  EXPECT_LT(pipe.parallel_time, sync.parallel_time);
+}
+
+}  // namespace
+}  // namespace pdc

@@ -120,6 +120,88 @@ TEST(SampleSort, DuplicateHeavyKeys) {
   EXPECT_EQ(total, 12'000u);
 }
 
+TEST(SampleSort, MatchesStdSortOracleOverRandomInstances) {
+  // Random (p, per-rank sizes, key range) instances against the one-line
+  // oracle: concatenate the inputs, std::sort, compare.  Small key ranges
+  // make heavy duplication the common case rather than the exception.
+  std::mt19937_64 meta(1234);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int p = 1 + static_cast<int>(meta() % 8);
+    const std::uint64_t range = (iter % 3 == 0) ? 5 : 100'000;
+    std::vector<std::vector<std::uint64_t>> inputs(
+        static_cast<std::size_t>(p));
+    for (auto& in : inputs) {
+      in.resize(meta() % 700);  // zero-size locals happen naturally
+      for (auto& v : in) v = meta() % range;
+    }
+
+    Runtime rt(p);
+    std::mutex mu;
+    std::vector<std::vector<std::uint64_t>> parts(
+        static_cast<std::size_t>(p));
+    rt.run([&](Comm& comm) {
+      auto local = inputs[static_cast<std::size_t>(comm.rank())];
+      auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+      std::lock_guard lock(mu);
+      parts[static_cast<std::size_t>(comm.rank())] = std::move(sorted);
+    });
+
+    std::vector<std::uint64_t> flat;
+    for (std::size_t r = 0; r < parts.size(); ++r) {
+      if (!flat.empty() && !parts[r].empty()) {
+        EXPECT_LE(flat.back(), parts[r].front()) << "iter=" << iter;
+      }
+      flat.insert(flat.end(), parts[r].begin(), parts[r].end());
+    }
+    std::vector<std::uint64_t> expected;
+    for (const auto& in : inputs) {
+      expected.insert(expected.end(), in.begin(), in.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(flat, expected) << "iter=" << iter << " p=" << p;
+  }
+}
+
+TEST(SampleSort, FewerLocalElementsThanRanks) {
+  // local.size() < p starves the splitter sample; the sort must still
+  // produce the exact global order.
+  const int p = 8;
+  Runtime rt(p);
+  std::mutex mu;
+  std::vector<std::uint64_t> flat_parts[8];
+  rt.run([&](Comm& comm) {
+    // Ranks 0..3 hold one element each (descending), the rest are empty.
+    std::vector<std::uint64_t> local;
+    if (comm.rank() < 4) {
+      local.push_back(static_cast<std::uint64_t>(100 - comm.rank()));
+    }
+    auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+    std::lock_guard lock(mu);
+    flat_parts[comm.rank()] = std::move(sorted);
+  });
+  std::vector<std::uint64_t> flat;
+  for (const auto& part : flat_parts) {
+    flat.insert(flat.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(flat, (std::vector<std::uint64_t>{97, 98, 99, 100}));
+}
+
+TEST(SampleSort, AllRanksOneDuplicateKey) {
+  // Degenerate splitter sample: every candidate is the same key.
+  const int p = 4;
+  Runtime rt(p);
+  std::uint64_t total = 0;
+  std::mutex mu;
+  rt.run([&](Comm& comm) {
+    std::vector<std::uint64_t> local(257, 42);
+    auto sorted = sample_sort(comm, std::move(local), std::less<>{});
+    for (auto v : sorted) EXPECT_EQ(v, 42u);
+    std::lock_guard lock(mu);
+    total += sorted.size();
+  });
+  EXPECT_EQ(total, 4u * 257u);
+}
+
 TEST(SampleSort, CustomComparatorDescending) {
   Runtime rt(3);
   std::mutex mu;
