@@ -102,7 +102,9 @@ inline pclouds::PcloudsConfig paper_config(std::uint64_t records) {
 inline std::uint64_t scaled(std::uint64_t records) {
   if (const char* env = std::getenv("PDC_BENCH_SCALE")) {
     const double s = std::atof(env);
-    if (s > 0) return static_cast<std::uint64_t>(records * s);
+    if (s > 0) {
+      return static_cast<std::uint64_t>(static_cast<double>(records) * s);
+    }
   }
   return records;
 }

@@ -26,10 +26,13 @@
 // state so a killed run finishes with the identical tree.  A run killed by
 // an unrecovered fault exits with status 3.
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <initializer_list>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -42,6 +45,7 @@
 #include "fault/fault.hpp"
 #include "io/pipeline.hpp"
 #include "io/scratch.hpp"
+#include "mp/lockstep.hpp"
 #include "mp/runtime.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +115,55 @@ void print_usage(std::FILE* to) {
       "  --help                   this message\n");
 }
 
+// Strict numeric parsing: the whole token must be a base-10 integer in
+// [min, max].  atoi-style silent zeroes turn typos into tiny valid runs.
+bool parse_count(const char* flag, const char* val, std::uint64_t min,
+                 std::uint64_t max, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(val, &end, 10);
+  if (val[0] == '-' || end == val || *end != '\0' || errno == ERANGE ||
+      v < min || v > max) {
+    std::fprintf(stderr,
+                 "pclouds_cli: %s wants an integer in [%llu, %llu], got '%s'\n",
+                 flag, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), val);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_fraction(const char* flag, const char* val, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(val, &end);
+  if (end == val || *end != '\0' || errno == ERANGE || !(v >= 0.0) ||
+      !(v <= 1.0)) {
+    std::fprintf(stderr,
+                 "pclouds_cli: %s wants a fraction in [0, 1], got '%s'\n",
+                 flag, val);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_choice(const char* flag, const char* val,
+                  std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (std::strcmp(val, a) == 0) return true;
+  }
+  std::string opts;
+  for (const char* a : allowed) {
+    if (!opts.empty()) opts += '|';
+    opts += a;
+  }
+  std::fprintf(stderr, "pclouds_cli: %s wants %s, got '%s'\n", flag,
+               opts.c_str(), val);
+  return false;
+}
+
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -144,28 +197,52 @@ bool parse(int argc, char** argv, Options& opt) {
       std::fprintf(stderr, "pclouds_cli: %s requires a value\n", arg.c_str());
       return false;
     }
+    std::uint64_t n = 0;
     if (arg == "--procs") {
-      opt.procs = std::atoi(val);
+      if (!parse_count("--procs", val, 1, 4096, &n)) return false;
+      opt.procs = static_cast<int>(n);
     } else if (arg == "--records") {
-      opt.records = std::strtoull(val, nullptr, 10);
+      if (!parse_count("--records", val, 1, 1'000'000'000'000ull, &n)) {
+        return false;
+      }
+      opt.records = n;
     } else if (arg == "--function") {
-      opt.function = std::atoi(val);
+      if (!parse_count("--function", val, 1, 10, &n)) return false;
+      opt.function = static_cast<int>(n);
     } else if (arg == "--classifier") {
+      if (!parse_choice("--classifier", val, {"pclouds", "sprint"})) {
+        return false;
+      }
       opt.classifier = val;
     } else if (arg == "--method") {
+      if (!parse_choice("--method", val, {"ss", "sse"})) return false;
       opt.method = val;
     } else if (arg == "--strategy") {
+      if (!parse_choice("--strategy", val,
+                        {"data", "concat", "task", "groups", "mixed"})) {
+        return false;
+      }
       opt.strategy = val;
     } else if (arg == "--combiner") {
+      if (!parse_choice("--combiner", val,
+                        {"attr", "interval", "hybrid", "dist"})) {
+        return false;
+      }
       opt.combiner = val;
     } else if (arg == "--q") {
-      opt.q = std::atoi(val);
+      if (!parse_count("--q", val, 2, 1'000'000, &n)) return false;
+      opt.q = static_cast<int>(n);
     } else if (arg == "--memory") {
-      opt.memory = std::strtoull(val, nullptr, 10);
+      if (!parse_count("--memory", val, 0, UINT64_MAX, &n)) return false;
+      opt.memory = n;
     } else if (arg == "--noise") {
-      opt.noise = std::atof(val);
+      if (!parse_fraction("--noise", val, &opt.noise)) return false;
     } else if (arg == "--sample") {
-      opt.sample = std::atof(val);
+      if (!parse_fraction("--sample", val, &opt.sample)) return false;
+      if (opt.sample == 0.0) {
+        std::fprintf(stderr, "pclouds_cli: --sample must be > 0\n");
+        return false;
+      }
     } else if (arg == "--save") {
       opt.save_path = val;
     } else if (arg == "--trace") {
@@ -175,7 +252,10 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (arg == "--scratch") {
       opt.scratch_dir = val;
     } else if (arg == "--checkpoint-every") {
-      opt.checkpoint_every = std::strtoull(val, nullptr, 10);
+      if (!parse_count("--checkpoint-every", val, 0, UINT64_MAX, &n)) {
+        return false;
+      }
+      opt.checkpoint_every = n;
     } else if (arg == "--inject") {
       opt.inject = val;
     } else if (arg == "--pipeline") {
@@ -189,16 +269,9 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
     } else if (arg == "--queue-depth") {
-      opt.queue_depth = std::strtoull(val, nullptr, 10);
-      if (opt.queue_depth == 0) {
-        std::fprintf(stderr, "pclouds_cli: --queue-depth must be >= 1\n");
-        return false;
-      }
+      if (!parse_count("--queue-depth", val, 1, 1024, &n)) return false;
+      opt.queue_depth = n;
     }
-  }
-  if (opt.procs < 1) {
-    std::fprintf(stderr, "pclouds_cli: --procs must be >= 1\n");
-    return false;
   }
   if (opt.resume && opt.scratch_dir.empty()) {
     std::fprintf(stderr,
@@ -356,6 +429,28 @@ int main(int argc, char** argv) {
         }
       },
       tracer.get(), faults.empty() ? nullptr : &faults);
+  } catch (const mp::LockstepError& e) {
+    std::fprintf(stderr, "pclouds_cli: run aborted: %s", e.what());
+    if (!opt.report_path.empty()) {
+      obs::RunReport run;
+      run.classifier = opt.classifier;
+      run.nprocs = opt.procs;
+      run.records = opt.records;
+      for (const auto& entry : e.report().ranks) {
+        run.lockstep_divergence.push_back({entry.rank, entry.global_rank,
+                                           entry.site, entry.seq, entry.prim,
+                                           entry.where});
+      }
+      if (tracer) run.metrics = tracer->merged_metrics();
+      try {
+        run.write_json(opt.report_path);
+        std::fprintf(stderr, "pclouds_cli: divergence report: %s\n",
+                     opt.report_path.c_str());
+      } catch (const std::exception& we) {
+        std::fprintf(stderr, "pclouds_cli: %s\n", we.what());
+      }
+    }
+    return 4;
   } catch (const fault::DiskFault& e) {
     std::fprintf(stderr, "pclouds_cli: run lost to a disk fault: %s\n",
                  e.what());

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Argument-handling tests for pclouds_cli: bad flags and malformed
+values must exit 2 with a message naming the offending flag on stderr,
+and a small good run must exit 0.
+
+Usage: test_cli.py /path/to/pclouds_cli
+"""
+
+import subprocess
+import sys
+import unittest
+
+CLI = None
+
+# Kept tiny so the one good-path run stays fast.
+GOOD_ARGS = ["--procs", "2", "--records", "2000", "--q", "50", "--no-prune"]
+
+
+def run(*args):
+    return subprocess.run([CLI, *args], capture_output=True, text=True,
+                          timeout=120)
+
+
+class RejectsBadArguments(unittest.TestCase):
+    # (args, text that must appear on stderr)
+    CASES = [
+        (["--bogus"], "unknown option"),
+        (["--procs"], "requires a value"),
+        (["--procs", "abc"], "--procs"),
+        (["--procs", "0"], "--procs"),
+        (["--procs", "-3"], "--procs"),
+        (["--procs", "4x"], "--procs"),
+        (["--records", "12.5"], "--records"),
+        (["--function", "11"], "--function"),
+        (["--function", "0"], "--function"),
+        (["--classifier", "cart"], "--classifier"),
+        (["--method", "gini"], "--method"),
+        (["--strategy", "dynamic"], "--strategy"),
+        (["--combiner", "sum"], "--combiner"),
+        (["--q", "1"], "--q"),
+        (["--noise", "1.5"], "--noise"),
+        (["--noise", "nope"], "--noise"),
+        (["--sample", "0"], "--sample"),
+        (["--queue-depth", "0"], "--queue-depth"),
+        (["--pipeline", "maybe"], "--pipeline"),
+        (["--inject", "disk_write:rank=bogus"], "--inject"),
+        (["--inject", "warp_core:op=1"], "--inject"),
+        (["--resume"], "--scratch"),
+    ]
+
+    def test_each_bad_invocation_exits_2_and_names_the_flag(self):
+        for args, needle in self.CASES:
+            with self.subTest(args=args):
+                r = run(*args)
+                self.assertEqual(r.returncode, 2,
+                                 f"{args}: rc={r.returncode}\n{r.stderr}")
+                self.assertIn(needle, r.stderr)
+
+    def test_bad_invocations_print_usage(self):
+        r = run("--pipeline", "sideways")
+        self.assertIn("usage: pclouds_cli", r.stderr)
+
+
+class AcceptsGoodArguments(unittest.TestCase):
+    def test_help_exits_0(self):
+        r = run("--help")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("usage: pclouds_cli", r.stdout)
+
+    def test_small_run_exits_0(self):
+        r = run(*GOOD_ARGS)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("modeled time", r.stdout)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit("usage: test_cli.py /path/to/pclouds_cli")
+    CLI = sys.argv.pop(1)
+    unittest.main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for pdc_lint.py: every rule against a positive fixture
+(each annotated line is found, nothing else) and one shared negative
+fixture of near-misses.  Run from anywhere: paths resolve via REPO_ROOT.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pdc_lint  # noqa: E402
+
+FIXTURES = os.path.join(pdc_lint.REPO_ROOT, "tests", "lint_fixtures")
+
+
+def lint_fixture(name, assume_src=True):
+    path = os.path.join(FIXTURES, name)
+    return pdc_lint.lint_file(path, assume_src)
+
+
+def annotated_lines(name, rule_id):
+    """Lines in the fixture carrying a trailing '// PDCNNN' marker."""
+    lines = []
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if "// " + rule_id in line:
+                lines.append(lineno)
+    return lines
+
+
+class PositiveFixtures(unittest.TestCase):
+    """Each bad_* fixture yields exactly its annotated findings."""
+
+    CASES = {
+        "bad_wall_clock.cpp": "PDC001",
+        "bad_randomness.cpp": "PDC002",
+        "bad_discarded_io.cpp": "PDC003",
+        "bad_raw_thread.cpp": "PDC004",
+        "bad_stdout.cpp": "PDC005",
+        "bad_sleep.cpp": "PDC006",
+    }
+
+    def test_annotated_lines_match_findings_exactly(self):
+        for fixture, rule in self.CASES.items():
+            with self.subTest(fixture=fixture):
+                expected = annotated_lines(fixture, rule)
+                self.assertTrue(expected, f"{fixture} has no annotations")
+                findings = lint_fixture(fixture)
+                self.assertEqual([f.rule for f in findings],
+                                 [rule] * len(expected))
+                self.assertEqual([f.line for f in findings], expected)
+
+    def test_findings_carry_machine_readable_fields(self):
+        f = lint_fixture("bad_stdout.cpp")[0]
+        self.assertEqual(f.rule, "PDC005")
+        self.assertEqual(f.slug, "stdout-io")
+        self.assertTrue(f.path.endswith("bad_stdout.cpp"))
+        self.assertIn("PDC005", f.render())
+        self.assertIn("[stdout-io]", f.render())
+
+
+class NegativeFixture(unittest.TestCase):
+    def test_clean_fixture_has_no_findings(self):
+        findings = lint_fixture("good_clean.cpp")
+        self.assertEqual([f.render() for f in findings], [])
+
+
+class SrcScoping(unittest.TestCase):
+    """src-only rules stay quiet outside src/ unless --assume-src."""
+
+    def test_src_only_rules_skip_non_src_paths(self):
+        findings = lint_fixture("bad_stdout.cpp", assume_src=False)
+        self.assertEqual(findings, [])
+
+    def test_pdc003_applies_everywhere(self):
+        findings = lint_fixture("bad_discarded_io.cpp", assume_src=False)
+        self.assertEqual({f.rule for f in findings}, {"PDC003"})
+
+
+class Suppressions(unittest.TestCase):
+    def test_bare_suppression_trips_pdc000_and_does_not_silence(self):
+        findings = lint_fixture("bad_bare_suppression.cpp")
+        self.assertEqual(sorted(f.rule for f in findings),
+                         ["PDC000", "PDC005"])
+        self.assertEqual({f.line for f in findings}, {6})
+
+
+class CommentAndStringStripping(unittest.TestCase):
+    def test_strings_and_comments_are_blanked(self):
+        text = ('int x; // std::cout << rand();\n'
+                'const char* s = "time(NULL) sleep_for";\n'
+                '/* std::thread */ int y;\n')
+        code = pdc_lint.strip_comments_and_strings(text)
+        self.assertNotIn("cout", code)
+        self.assertNotIn("rand", code)
+        self.assertNotIn("time(NULL)", code)
+        self.assertNotIn("thread", code)
+        self.assertIn("int x;", code)
+        self.assertIn("int y;", code)
+        self.assertEqual(code.count("\n"), text.count("\n"))
+
+    def test_raw_string_payload_is_blanked(self):
+        text = 'auto j = R"js({"clock": "std::rand()"})js"; int z;\n'
+        code = pdc_lint.strip_comments_and_strings(text)
+        self.assertNotIn("rand", code)
+        self.assertIn("int z;", code)
+
+
+class Pdc004Allowlist(unittest.TestCase):
+    def test_sanctioned_launchers_are_exempt(self):
+        for rel in pdc_lint.PDC004_ALLOWLIST:
+            path = os.path.join(pdc_lint.REPO_ROOT, rel)
+            self.assertTrue(os.path.isfile(path),
+                            f"allowlist entry vanished: {rel}")
+            rules = {f.rule for f in pdc_lint.lint_file(path, False)}
+            self.assertNotIn("PDC004", rules)
+
+    def test_raw_thread_flagged_elsewhere_in_src(self):
+        findings = lint_fixture("bad_raw_thread.cpp")
+        self.assertEqual({f.rule for f in findings}, {"PDC004"})
+
+
+class CliDriver(unittest.TestCase):
+    def test_exit_codes(self):
+        bad = os.path.join(FIXTURES, "bad_stdout.cpp")
+        good = os.path.join(FIXTURES, "good_clean.cpp")
+        self.assertEqual(pdc_lint.main(["--assume-src", good]), 0)
+        self.assertEqual(pdc_lint.main(["--assume-src", bad]), 1)
+
+    def test_repo_src_tree_is_clean(self):
+        src = os.path.join(pdc_lint.REPO_ROOT, "src")
+        self.assertEqual(pdc_lint.main([src]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -73,8 +73,9 @@ class QuantileSketch {
     for (int j = 1; j < q; ++j) {
       const double target =
           static_cast<double>(count_) * j / static_cast<double>(q);
-      while (i < items.size() && acc + items[i].second < target) {
-        acc += items[i].second;
+      while (i < items.size() &&
+             acc + static_cast<double>(items[i].second) < target) {
+        acc += static_cast<double>(items[i].second);
         ++i;
       }
       if (i >= items.size()) break;

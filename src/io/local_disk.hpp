@@ -59,18 +59,18 @@ class LocalDisk {
     return dir_ / name;
   }
 
-  bool exists(const std::string& name) const {
+  [[nodiscard]] bool exists(const std::string& name) const {
     return std::filesystem::exists(path_of(name));
   }
 
-  std::size_t file_bytes(const std::string& name) const {
+  [[nodiscard]] std::size_t file_bytes(const std::string& name) const {
     std::error_code ec;
     const auto n = std::filesystem::file_size(path_of(name), ec);
     return ec ? 0 : static_cast<std::size_t>(n);
   }
 
   template <mp::Wireable T>
-  std::size_t file_records(const std::string& name) const {
+  [[nodiscard]] std::size_t file_records(const std::string& name) const {
     return file_bytes(name) / sizeof(T);
   }
 
@@ -100,9 +100,11 @@ class LocalDisk {
     charge_write(data.size_bytes());
   }
 
-  /// Read a whole typed file in one request.
+  /// Read a whole typed file in one request.  The result must be consumed
+  /// (pdc-lint PDC003): a discarded read still pays modeled I/O, which
+  /// silently skews every downstream cost figure.
   template <mp::Wireable T>
-  std::vector<T> read_file(const std::string& name) {
+  [[nodiscard]] std::vector<T> read_file(const std::string& name) {
     admit(/*is_write=*/false, name);
     const std::size_t n = file_records<T>(name);
     FilePtr f(std::fopen(path_of(name).c_str(), "rb"));
@@ -396,8 +398,8 @@ class RecordReader {
   }
 
   /// Reads the next block into `out` (replacing its contents).  Returns
-  /// false when the file is exhausted.
-  bool next_block(std::vector<T>& out) {
+  /// false when the file is exhausted; ignoring it loses EOF (PDC003).
+  [[nodiscard]] bool next_block(std::vector<T>& out) {
     out.clear();
     if (remaining_ == 0) return false;
     disk_->admit(/*is_write=*/false, name_);

@@ -75,8 +75,8 @@ class BlockReader {
   BlockReader& operator=(const BlockReader&) = delete;
 
   /// Reads the next block into `out` (replacing its contents).  Returns
-  /// false when the file is exhausted.
-  bool next_block(std::vector<T>& out) {
+  /// false when the file is exhausted; ignoring it loses EOF (PDC003).
+  [[nodiscard]] bool next_block(std::vector<T>& out) {
     if (sync_) return sync_->next_block(out);
     out.clear();
     if (pending_.empty()) return false;

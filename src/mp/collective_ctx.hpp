@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mp/lockstep.hpp"
 #include "mp/mailbox.hpp"  // AbortError
 
 namespace pdc::mp {
@@ -71,6 +72,7 @@ class CollectiveContext {
       : nprocs_(nprocs),
         slots_(static_cast<std::size_t>(nprocs)),
         times_(static_cast<std::size_t>(nprocs), 0.0),
+        audits_(static_cast<std::size_t>(nprocs)),
         enter_(nprocs),
         mid_(nprocs),
         exit_(nprocs) {}
@@ -81,6 +83,11 @@ class CollectiveContext {
     return slots_[static_cast<std::size_t>(rank)];
   }
   double& time_slot(int rank) { return times_[static_cast<std::size_t>(rank)]; }
+  /// The rank's lockstep claim for the collective in flight (written before
+  /// publish_barrier, cross-checked by every rank after it).
+  LockstepRecord& audit_slot(int rank) {
+    return audits_[static_cast<std::size_t>(rank)];
+  }
 
   /// Phase 1: everyone has published local data + local modeled time.
   void publish_barrier() { enter_.arrive_and_wait(); }
@@ -106,6 +113,7 @@ class CollectiveContext {
   int nprocs_;
   std::vector<std::vector<std::byte>> slots_;
   std::vector<double> times_;
+  std::vector<LockstepRecord> audits_;
   CentralBarrier enter_;
   CentralBarrier mid_;
   CentralBarrier exit_;

@@ -8,7 +8,12 @@
 // rank's position on the modeled parallel timeline.
 //
 // All collectives must be entered by every rank of the communicator, in the
-// same order — the usual SPMD contract.
+// same order — the usual SPMD contract.  With lockstep auditing on (see
+// mp/lockstep.hpp; default in debug builds) every collective cross-checks
+// that contract before touching any payload: each call site publishes a
+// stable site-id plus the rank's collective sequence number, and a mismatch
+// aborts the run with a per-rank divergence report instead of exchanging
+// garbage or deadlocking.
 //
 // When the owning Runtime was given an obs::Tracer, every primitive also
 // records a span on the rank's trace track (begin at entry, end after the
@@ -23,6 +28,7 @@
 #include <memory>
 #include <functional>
 #include <numeric>
+#include <source_location>
 #include <span>
 #include <utility>
 #include <vector>
@@ -30,6 +36,7 @@
 #include "fault/fault.hpp"
 #include "mp/clock.hpp"
 #include "mp/collective_ctx.hpp"
+#include "mp/lockstep.hpp"
 #include "mp/cost_model.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/serialize.hpp"
@@ -72,6 +79,12 @@ class Comm {
   /// same plan that governs communication.
   fault::RankFault* fault() const { return fault_; }
 
+  /// Collective lockstep auditing (mp/lockstep.hpp).  Must be set uniformly
+  /// across ranks before the first collective; the Runtime does this from
+  /// its own flag.  Auditing never touches the modeled clock.
+  void set_lockstep_audit(bool on) { lockstep_ = on; }
+  bool lockstep_audit() const { return lockstep_; }
+
   /// This rank's id in the world communicator (== rank() unless this Comm
   /// came from split()).
   int global_rank() const { return group_ ? (*group_)[static_cast<std::size_t>(rank_)] : rank_; }
@@ -81,14 +94,15 @@ class Comm {
   /// communicator, ordered by (key, old rank); key defaults to the old
   /// rank.  Point-to-point and collectives on the result are scoped to the
   /// subgroup.  Costs one small all-to-all broadcast on the parent.
-  Comm split(int color, int key = -1) {
+  Comm split(int color, int key = -1,
+             std::source_location loc = std::source_location::current()) {
     struct ColorKey {
       int color;
       int key;
     };
     const ColorKey mine{color, key == -1 ? rank_ : key};
     const auto all = all_to_all_broadcast<ColorKey>(
-        std::span<const ColorKey>(&mine, 1));
+        std::span<const ColorKey>(&mine, 1), loc);
 
     auto members = std::make_shared<std::vector<int>>();
     int my_pos = -1;
@@ -112,9 +126,12 @@ class Comm {
     auto sub_ctx =
         arena_->get_or_create(ctx_, split_generation_++, color, group_size);
     CollectiveContext* sub_ctx_raw = sub_ctx.get();
-    return Comm(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
-                arena_, std::move(members), std::move(sub_ctx), tracer_,
-                fault_);
+    Comm sub(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
+             arena_, std::move(members), std::move(sub_ctx), tracer_, fault_);
+    // The subgroup inherits auditing; its collective sequence restarts at
+    // zero uniformly across members.
+    sub.lockstep_ = lockstep_;
+    return sub;
   }
 
   // ---------------------------------------------------------------- p2p ---
@@ -165,9 +182,9 @@ class Comm {
 
   // -------------------------------------------------------- collectives ---
 
-  void barrier() {
+  void barrier(std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("barrier");
-    sync_publish({});
+    sync_publish({}, "barrier", loc);
     const double t_max = max_published_time();
     ctx_->read_barrier();
     settle(t_max, cost_->barrier(size_));
@@ -178,9 +195,11 @@ class Comm {
   /// rank receives all blocks, indexed by source rank.  Blocks may differ in
   /// size across ranks.
   template <Wireable T>
-  std::vector<std::vector<T>> all_to_all_broadcast(std::span<const T> mine) {
+  std::vector<std::vector<T>> all_to_all_broadcast(
+      std::span<const T> mine,
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_to_all_broadcast", mine.size_bytes());
-    sync_publish(to_bytes(mine));
+    sync_publish(to_bytes(mine), "all_to_all_broadcast", loc);
     const double t_max = max_published_time();
     std::size_t m = 0;
     std::vector<std::vector<T>> out(static_cast<std::size_t>(size_));
@@ -197,8 +216,10 @@ class Comm {
 
   /// Allgather returning the concatenation of all blocks in rank order.
   template <Wireable T>
-  std::vector<T> all_gather(std::span<const T> mine) {
-    auto blocks = all_to_all_broadcast(mine);
+  std::vector<T> all_gather(
+      std::span<const T> mine,
+      std::source_location loc = std::source_location::current()) {
+    auto blocks = all_to_all_broadcast(mine, loc);
     std::vector<T> out;
     std::size_t total = 0;
     for (const auto& b : blocks) total += b.size();
@@ -210,9 +231,11 @@ class Comm {
   /// Gather to `root`: root receives all blocks (indexed by source rank);
   /// other ranks receive an empty result.
   template <Wireable T>
-  std::vector<std::vector<T>> gather(int root, std::span<const T> mine) {
+  std::vector<std::vector<T>> gather(
+      int root, std::span<const T> mine,
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("gather", mine.size_bytes());
-    sync_publish(to_bytes(mine));
+    sync_publish(to_bytes(mine), "gather", loc);
     const double t_max = max_published_time();
     std::size_t m = 0;
     for (int r = 0; r < size_; ++r) m = std::max(m, ctx_->slot(r).size());
@@ -231,10 +254,13 @@ class Comm {
 
   /// One-to-all broadcast of a block from `root`.
   template <Wireable T>
-  std::vector<T> broadcast(int root, std::span<const T> mine) {
+  std::vector<T> broadcast(
+      int root, std::span<const T> mine,
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("broadcast",
                         rank_ == root ? mine.size_bytes() : std::size_t{0});
-    sync_publish(rank_ == root ? to_bytes(mine) : std::vector<std::byte>{});
+    sync_publish(rank_ == root ? to_bytes(mine) : std::vector<std::byte>{},
+                 "broadcast", loc);
     const double t_max = max_published_time();
     const auto& s = ctx_->slot(root);
     const std::size_t m = s.size();
@@ -246,17 +272,19 @@ class Comm {
   }
 
   template <Wireable T>
-  T broadcast_value(int root, const T& value) {
-    auto v = broadcast(root, std::span<const T>(&value, 1));
+  T broadcast_value(int root, const T& value,
+                    std::source_location loc = std::source_location::current()) {
+    auto v = broadcast(root, std::span<const T>(&value, 1), loc);
     return v.at(0);
   }
 
   /// Global combine (all-reduce) of a single value with a binary op, folded
   /// in rank order (deterministic).
   template <Wireable T, class Op = std::plus<T>>
-  T all_reduce(const T& value, Op op = Op{}) {
+  T all_reduce(const T& value, Op op = Op{},
+               std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_reduce", sizeof(T));
-    sync_publish(to_bytes(value));
+    sync_publish(to_bytes(value), "all_reduce", loc);
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r < size_; ++r) {
@@ -270,9 +298,11 @@ class Comm {
 
   /// Element-wise global combine of equal-length vectors.
   template <Wireable T, class Op = std::plus<T>>
-  std::vector<T> all_reduce_vec(std::span<const T> mine, Op op = Op{}) {
+  std::vector<T> all_reduce_vec(
+      std::span<const T> mine, Op op = Op{},
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_reduce_vec", mine.size_bytes());
-    sync_publish(to_bytes(mine));
+    sync_publish(to_bytes(mine), "all_reduce_vec", loc);
     const double t_max = max_published_time();
     std::vector<T> acc = from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r < size_; ++r) {
@@ -289,9 +319,10 @@ class Comm {
 
   /// Inclusive prefix sum (scan) over ranks with a binary op.
   template <Wireable T, class Op = std::plus<T>>
-  T prefix_sum(const T& value, Op op = Op{}) {
+  T prefix_sum(const T& value, Op op = Op{},
+               std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("prefix_sum", sizeof(T));
-    sync_publish(to_bytes(value));
+    sync_publish(to_bytes(value), "prefix_sum", loc);
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r <= rank_; ++r) {
@@ -307,9 +338,11 @@ class Comm {
   /// lower rank) and the rank that owns it.  The paper uses this to pick the
   /// global minimum gini and its splitting point.
   template <Wireable T, class Less = std::less<T>>
-  std::pair<T, int> min_loc(const T& value, Less less = Less{}) {
+  std::pair<T, int> min_loc(
+      const T& value, Less less = Less{},
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("min_loc", sizeof(T));
-    sync_publish(to_bytes(value));
+    sync_publish(to_bytes(value), "min_loc", loc);
     const double t_max = max_published_time();
     T best = value_from_bytes<T>(ctx_->slot(0));
     int best_rank = 0;
@@ -330,7 +363,8 @@ class Comm {
   /// what every rank sent to me, indexed by source rank.
   template <Wireable T>
   std::vector<std::vector<T>> all_to_all(
-      const std::vector<std::vector<T>>& outgoing) {
+      const std::vector<std::vector<T>>& outgoing,
+      std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_to_all");
     // Frame: p uint64 segment lengths (in elements), then the segments.
     std::vector<std::byte> frame;
@@ -348,7 +382,7 @@ class Comm {
                    std::span<const T>(outgoing[static_cast<std::size_t>(d)]));
     }
     sp.set_bytes(frame.size());
-    sync_publish(std::move(frame));
+    sync_publish(std::move(frame), "all_to_all", loc);
     const double t_max = max_published_time();
 
     std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size_));
@@ -423,10 +457,50 @@ class Comm {
     out.insert(out.end(), bytes.begin(), bytes.end());
   }
 
-  void sync_publish(std::vector<std::byte> payload) {
+  void sync_publish(std::vector<std::byte> payload, std::string_view prim,
+                    const std::source_location& loc) {
+    if (lockstep_) {
+      ctx_->audit_slot(rank_) = make_lockstep_record(prim, lockstep_seq_, loc);
+    }
     ctx_->time_slot(rank_) = clock_->total();
     ctx_->slot(rank_) = std::move(payload);
     ctx_->publish_barrier();
+    if (lockstep_) {
+      ++lockstep_seq_;
+      check_lockstep();
+    }
+  }
+
+  /// Cross-checks every rank's lockstep claim after the publish barrier,
+  /// before any payload is interpreted.  Every rank of a divergent
+  /// collective sees the same records and throws the same report; the
+  /// Runtime's abort machinery unwinds the rest of the program.
+  void check_lockstep() {
+    const LockstepRecord& mine = ctx_->audit_slot(rank_);
+    bool diverged = false;
+    for (int r = 0; r < size_ && !diverged; ++r) {
+      diverged = !ctx_->audit_slot(r).matches(mine);
+    }
+    if (!diverged) return;
+
+    LockstepReport report;
+    report.ranks.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      const LockstepRecord& rec = ctx_->audit_slot(r);
+      LockstepEntry e;
+      e.rank = r;
+      e.global_rank = to_global(r);
+      e.site = rec.site;
+      e.seq = rec.seq;
+      e.prim = rec.prim;
+      e.where = rec.where;
+      report.ranks.push_back(std::move(e));
+    }
+    // Route the divergence through the rank's observability track so an
+    // observed run records it in the trace and the run report metrics.
+    tracer_.instant("lockstep.divergence", "audit");
+    tracer_.count("lockstep.divergence");
+    throw LockstepError(std::move(report));
   }
 
   double max_published_time() const {
@@ -454,6 +528,10 @@ class Comm {
   std::shared_ptr<CollectiveContext> owned_ctx_;
   /// Advances on every split() so repeated splits get fresh contexts.
   std::uint64_t split_generation_ = 0;
+  /// Lockstep auditing: enabled flag and this rank's collective count on
+  /// this communicator (subgroup comms restart at zero).
+  bool lockstep_ = false;
+  std::uint64_t lockstep_seq_ = 0;
   /// Per-rank trace handle; disabled (no-op) by default.
   obs::RankTracer tracer_;
   /// Per-rank fault injector; null (no-op) by default.

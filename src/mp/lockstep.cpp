@@ -1,0 +1,71 @@
+#include "mp/lockstep.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pdc::mp {
+
+namespace {
+
+/// Strips the directory part so site hashes and reports are stable across
+/// checkouts and build directories.
+std::string_view basename_of(std::string_view path) {
+  const auto slash = path.find_last_of("/\\");
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+std::uint64_t lockstep_site_hash(std::string_view file, std::uint32_t line,
+                                 std::string_view prim) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  mix(basename_of(file));
+  mix(":");
+  mix(std::to_string(line));
+  mix(":");
+  mix(prim);
+  return h;
+}
+
+LockstepRecord make_lockstep_record(std::string_view prim, std::uint64_t seq,
+                                    const std::source_location& loc) {
+  LockstepRecord rec;
+  rec.site = lockstep_site_hash(loc.file_name(), loc.line(), prim);
+  rec.seq = seq;
+  copy_truncated(rec.prim, sizeof(rec.prim), prim);
+  const std::string where = std::string(basename_of(loc.file_name())) + ":" +
+                            std::to_string(loc.line());
+  copy_truncated(rec.where, sizeof(rec.where), where);
+  return rec;
+}
+
+std::string LockstepReport::to_string() const {
+  std::string out = "collective lockstep divergence:\n";
+  char buf[192];
+  for (const auto& e : ranks) {
+    std::snprintf(buf, sizeof(buf),
+                  "  rank %d (global %d): %s @ %s, seq %llu, site %016llx\n",
+                  e.rank, e.global_rank, e.prim.c_str(), e.where.c_str(),
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.site));
+    out += buf;
+  }
+  return out;
+}
+
+LockstepError::LockstepError(LockstepReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+}  // namespace pdc::mp

@@ -1,6 +1,7 @@
 #include "mp/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <numeric>
@@ -62,6 +63,17 @@ Runtime::Runtime(int nprocs, Machine machine)
   if (nprocs < 1) throw std::invalid_argument("Runtime: nprocs must be >= 1");
 }
 
+bool Runtime::lockstep_default() {
+  if (const char* env = std::getenv("PDC_LOCKSTEP")) {
+    return env[0] == '1';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
 SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
                         obs::Tracer* tracer, const fault::FaultPlan* faults) {
   if (tracer && tracer->nranks() != nprocs_) {
@@ -89,6 +101,7 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
         tracer ? tracer->rank(rank, &clocks[urank]) : obs::RankTracer{};
     Comm comm(rank, nprocs_, &cost_, &mailboxes, &ctx, &clocks[urank], &arena,
               nullptr, nullptr, rtrace, faults ? &injectors[urank] : nullptr);
+    comm.set_lockstep_audit(lockstep_);
     try {
       body(comm);
     } catch (const AbortError&) {

@@ -57,6 +57,17 @@ class Runtime {
   const Machine& machine() const { return cost_.machine(); }
   const CostModel& cost() const { return cost_; }
 
+  /// Collective lockstep auditing (mp/lockstep.hpp): every collective
+  /// cross-checks that all ranks entered the same call site before any
+  /// payload is read, and a divergence aborts the run with a LockstepError
+  /// carrying a per-rank report.  Defaults to on in debug builds (NDEBUG
+  /// unset) and off in release; the PDC_LOCKSTEP=0|1 environment variable
+  /// overrides the build default, and this setter overrides both.
+  void set_lockstep(bool on) { lockstep_ = on; }
+  bool lockstep() const { return lockstep_; }
+  /// The build/environment default described above.
+  static bool lockstep_default();
+
   /// Run `body` on every rank.  Blocking; returns when all ranks finish.
   /// When `tracer` is non-null (it must have been built with the same
   /// nprocs), every rank records spans/metrics onto its track; the tracer
@@ -71,6 +82,7 @@ class Runtime {
  private:
   int nprocs_;
   CostModel cost_;
+  bool lockstep_ = lockstep_default();
 };
 
 }  // namespace pdc::mp

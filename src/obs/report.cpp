@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 
@@ -68,6 +69,22 @@ std::string RunReport::to_json() const {
   out += "  \"tree\": {\"nodes\": " + u64(tree.nodes) +
          ", \"leaves\": " + u64(tree.leaves) +
          ", \"depth\": " + std::to_string(tree.depth) + "},\n";
+  if (!lockstep_divergence.empty()) {
+    out += "  \"lockstep_divergence\": [\n";
+    for (std::size_t i = 0; i < lockstep_divergence.size(); ++i) {
+      const auto& e = lockstep_divergence[i];
+      char site_hex[17];
+      std::snprintf(site_hex, sizeof(site_hex), "%016llx",
+                    static_cast<unsigned long long>(e.site));
+      out += "    {\"rank\": " + std::to_string(e.rank) +
+             ", \"global_rank\": " + std::to_string(e.global_rank) +
+             ", \"site\": \"" + site_hex + "\", \"seq\": " + u64(e.seq) +
+             ", \"prim\": \"" + json_escape(e.prim) + "\", \"where\": \"" +
+             json_escape(e.where) + "\"}";
+      out += (i + 1 < lockstep_divergence.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
   if (accuracy >= 0.0) {
     out += "  \"accuracy\": " + json_number(accuracy) + ",\n";
   }
@@ -156,6 +173,19 @@ RunReport RunReport::from_json(std::string_view text) {
   out.tree.nodes = static_cast<std::uint64_t>(tj.at("nodes").as_number());
   out.tree.leaves = static_cast<std::uint64_t>(tj.at("leaves").as_number());
   out.tree.depth = static_cast<std::int32_t>(tj.at("depth").as_number());
+
+  if (const Json* lock = doc.find("lockstep_divergence")) {
+    for (const auto& ej : lock->items()) {
+      LockstepRank e;
+      e.rank = static_cast<int>(ej.at("rank").as_number());
+      e.global_rank = static_cast<int>(ej.at("global_rank").as_number());
+      e.site = std::strtoull(ej.at("site").as_string().c_str(), nullptr, 16);
+      e.seq = static_cast<std::uint64_t>(ej.at("seq").as_number());
+      e.prim = ej.at("prim").as_string();
+      e.where = ej.at("where").as_string();
+      out.lockstep_divergence.push_back(std::move(e));
+    }
+  }
 
   if (const Json* acc = doc.find("accuracy")) {
     out.accuracy = acc->as_number();

@@ -16,6 +16,9 @@
 //                "total_s":..,"read_ops":..,"write_ops":..,
 //                "bytes_read":..,"bytes_written":..}, ...],
 //     "tree": {"nodes":..,"leaves":..,"depth":..},
+//     "lockstep_divergence": [      // present only when the collective
+//       {"rank":..,"global_rank":..,//  lockstep auditor aborted the run
+//        "site":"hex","seq":..,"prim":"...","where":"file:line"}, ...],
 //     "accuracy": ...,              // present only when evaluated
 //     "metrics": {"counters":{...},"gauges":{...},
 //                 "histograms":{"name":{"count","sum","min","max","mean"}}}
@@ -46,11 +49,25 @@ struct RunReport {
     std::int32_t depth = 0;
   };
 
+  /// One rank's row of a collective-lockstep divergence report (see
+  /// mp/lockstep.hpp; plain strings here so obs stays below mp in the
+  /// dependency order).  Empty = the run held lockstep; the field is then
+  /// omitted from the JSON document.
+  struct LockstepRank {
+    int rank = 0;
+    int global_rank = 0;
+    std::uint64_t site = 0;
+    std::uint64_t seq = 0;
+    std::string prim;
+    std::string where;
+  };
+
   std::string classifier;
   int nprocs = 0;
   std::uint64_t records = 0;
   std::vector<Rank> ranks;
   TreeShape tree;
+  std::vector<LockstepRank> lockstep_divergence;
   double accuracy = -1.0;  ///< < 0: not evaluated (omitted from JSON)
   MetricsRegistry metrics;
 

@@ -378,7 +378,11 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
       std::uint64_t streamed = 0;
       for (std::uint64_t round = 0; round < rounds; ++round) {
         buf.clear();
-        if (round < my_blocks) reader.next_block(buf);
+        if (round < my_blocks && !reader.next_block(buf)) {
+          throw std::runtime_error("sprint: attribute list stream ended " +
+                                   std::to_string(my_blocks - round) +
+                                   " blocks early");
+        }
 
         std::vector<std::uint8_t> is_left(buf.size());
         if (!distributed) {

@@ -204,8 +204,8 @@ TEST_P(IntervalDistributions, EquiDepthBucketsAreBalanced) {
   hist.bounds = bounds;
   hist.reset_counts();
   for (const float v : sample) hist.add(v, 0);
-  const double ideal =
-      static_cast<double>(sample.size()) / hist.interval_count();
+  const double ideal = static_cast<double>(sample.size()) /
+                       static_cast<double>(hist.interval_count());
   if (GetParam() != 3) {  // ties make balance impossible by construction
     for (const auto& f : hist.freq) {
       EXPECT_LT(static_cast<double>(data::total(f)), 2.5 * ideal);

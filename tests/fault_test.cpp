@@ -178,7 +178,7 @@ TEST(DiskFaults, StreamingReaderFaultsPropagate) {
   io::RecordReader<int> reader(disk, "a.dat", /*block_records=*/100);
   std::vector<int> block;
   EXPECT_TRUE(reader.next_block(block));  // read op 1
-  EXPECT_THROW(reader.next_block(block), DiskFault);
+  EXPECT_THROW((void)reader.next_block(block), DiskFault);
 }
 
 // ---- CheckpointStore ----
@@ -439,9 +439,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, FaultMatrix,
     ::testing::Combine(::testing::Range<std::uint64_t>(0, 8),
                        ::testing::Values("disk", "comm")),
-    [](const auto& info) {
-      return std::string(std::get<1>(info.param)) + "_seed" +
-             std::to_string(std::get<0>(info.param));
+    [](const auto& param_info) {
+      return std::string(std::get<1>(param_info.param)) + "_seed" +
+             std::to_string(std::get<0>(param_info.param));
     });
 
 }  // namespace

@@ -104,7 +104,8 @@ TEST(Invariants, SketchRankErrorStaysWithinBound) {
   for (int trial = 0; trial < 100; ++trial) {
     std::vector<float> data;
     const int shape = trial % 3;
-    std::normal_distribution<float> normal(50.0f, trial % 7 + 1.0f);
+    std::normal_distribution<float> normal(
+        50.0f, static_cast<float>(trial % 7) + 1.0f);
     std::uniform_real_distribution<float> uniform(-1.0f, 1.0f);
     std::uniform_int_distribution<int> dup(0, 9);
     for (int i = 0; i < 3000; ++i) {

@@ -1,0 +1,7 @@
+// pdc-lint fixture: a suppression without '-- reason' trips PDC000 and
+// does NOT silence the underlying finding.
+#include <cstdio>
+
+void fixture_bare() {
+  std::printf("ready\n");  // pdc-lint: allow(PDC005)
+}

@@ -1,0 +1,21 @@
+// pdc-lint fixture: every flagged line below must trip PDC003.
+#include <string>
+#include <vector>
+
+struct FakeDisk {
+  std::vector<int> read_file(const std::string&) { return {}; }
+  bool exists(const std::string&) { return false; }
+  unsigned long file_bytes(const std::string&) { return 0; }
+};
+
+struct FakeReader {
+  bool next_block(std::vector<int>&) { return false; }
+};
+
+void fixture_drop(FakeDisk& disk, FakeReader* reader) {
+  std::vector<int> buf;
+  disk.read_file("a.dat");      // PDC003
+  reader->next_block(buf);      // PDC003
+  disk.exists("b.dat");         // PDC003
+  disk.file_bytes("c.dat");     // PDC003
+}

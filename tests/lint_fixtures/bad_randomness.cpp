@@ -1,0 +1,11 @@
+// pdc-lint fixture: every flagged line below must trip PDC002.
+#include <cstdlib>
+#include <random>
+
+int fixture_roll() {
+  srand();                      // PDC002 (argless; C23-style)
+  int a = rand();               // PDC002
+  int b = std::rand();          // PDC002
+  std::random_device rd;        // PDC002
+  return a + b + static_cast<int>(rd());
+}

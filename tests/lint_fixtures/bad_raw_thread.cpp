@@ -1,0 +1,8 @@
+// pdc-lint fixture: every flagged line below must trip PDC004.
+#include <thread>
+
+void fixture_spawn() {
+  std::thread t([] {});         // PDC004
+  std::jthread u([] {});        // PDC004
+  t.join();
+}

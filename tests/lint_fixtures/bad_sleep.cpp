@@ -1,0 +1,10 @@
+// pdc-lint fixture: every flagged line below must trip PDC006.
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+void fixture_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // PDC006
+  usleep(100);                                                // PDC006
+  sleep(1);                                                   // PDC006
+}

@@ -1,0 +1,11 @@
+// pdc-lint fixture: every flagged line below must trip PDC005.
+#include <cstdio>
+#include <iostream>
+
+void fixture_print() {
+  std::cout << "hello\n";               // PDC005
+  printf("hello %d\n", 1);              // PDC005
+  std::printf("hello %d\n", 2);         // PDC005
+  puts("hello");                        // PDC005
+  fprintf(stdout, "hello %d\n", 3);     // PDC005
+}

@@ -1,0 +1,18 @@
+// pdc-lint fixture: every flagged line below must trip PDC001.
+#include <chrono>
+#include <ctime>
+
+double fixture_now() {
+  auto a = std::chrono::system_clock::now();           // PDC001
+  auto b = std::chrono::steady_clock::now();           // PDC001
+  auto c = std::chrono::high_resolution_clock::now();  // PDC001
+  std::time_t d = time(nullptr);                       // PDC001
+  std::time_t e = std::time(nullptr);                  // PDC001
+  std::clock_t f = std::clock();                       // PDC001
+  struct timespec ts;
+  clock_gettime(0, &ts);                               // PDC001
+  (void)a;
+  (void)b;
+  (void)c;
+  return static_cast<double>(d + e + f + ts.tv_sec);
+}

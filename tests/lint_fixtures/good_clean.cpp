@@ -1,0 +1,69 @@
+// pdc-lint fixture: nothing in this file may produce a finding.  Each
+// block is a near-miss for one rule.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+struct Clock {
+  double total() const { return 0.0; }
+};
+
+struct FakeDisk {
+  std::vector<int> read_file(const std::string&) { return {}; }
+  bool exists(const std::string&) { return false; }
+  // Accessor named clock() — the approved modeled-clock pattern, and the
+  // reason bare clock() calls are out of PDC001's scope.
+  Clock& clock() { return clk_; }
+  Clock clk_;
+};
+
+struct FakeReader {
+  bool next_block(std::vector<int>&) { return false; }
+};
+
+// PDC001 near-misses: member .time()/.clock(), identifiers ending in
+// "time", and wall-clock names inside comments or string literals.
+struct Span {
+  double time() const { return 0.0; }
+};
+double fixture_times(FakeDisk& disk, const Span& span) {
+  double arrival_time(0.0);
+  // std::chrono::system_clock::now() in a comment is fine.
+  const char* msg = "uses std::chrono::steady_clock and time(NULL)";
+  (void)msg;
+  return span.time() + arrival_time + disk.clock().total();
+}
+
+// PDC002 near-misses: identifiers containing rand, members named rand,
+// and seeded srand.
+int fixture_rand(int operand) {
+  int random_offset = operand;
+  return random_offset;
+}
+
+// PDC003 near-misses: consumed results (assigned, tested, returned,
+// explicitly void-cast, or spanning a continuation line inside a call).
+unsigned long fixture_io(FakeDisk& disk, FakeReader& reader) {
+  std::vector<int> buf;
+  auto data = disk.read_file("a.dat");
+  if (reader.next_block(buf)) buf.clear();
+  while (reader.next_block(buf)) buf.clear();
+  (void)disk.read_file("b.dat");
+  bool ok = false;
+  ok = reader.next_block(buf);
+  unsigned long total = static_cast<unsigned long>(
+      disk.read_file("c.dat").size());
+  return total + data.size() + (ok ? 1u : 0u);
+}
+
+// PDC005 near-misses: snprintf into a buffer and fprintf to stderr.
+void fixture_report(const char* what) {
+  char line[64];
+  std::snprintf(line, sizeof line, "%s", what);
+  std::fprintf(stderr, "%s\n", line);
+}
+
+// Suppression with a justification silences the rule on that line.
+void fixture_suppressed() {
+  std::printf("ready\n");  // pdc-lint: allow(PDC005) -- fixture: by design
+}
