@@ -8,6 +8,10 @@ excluded), and fails when the percentage drops below the floor.
 
 Usage:
     python3 scripts/check_coverage.py --build build-cov --fail-under 70
+    ... --file-floor src/clouds/prune.cpp:88 --file-floor src/x.hpp:80
+
+--file-floor is repeatable and puts an individual floor on one file (by
+path suffix), so hot files can be held above the aggregate bar.
 """
 
 import argparse
@@ -51,7 +55,18 @@ def main() -> int:
                     help="minimum line coverage percent over src/")
     ap.add_argument("--prefix", default="src/",
                     help="only count files whose path contains this")
+    ap.add_argument("--file-floor", action="append", default=[],
+                    metavar="PATH:PCT",
+                    help="per-file floor, e.g. src/clouds/prune.cpp:88 "
+                         "(path matched as a suffix; repeatable)")
     args = ap.parse_args()
+
+    file_floors = []
+    for spec in args.file_floor:
+        path, sep, pct = spec.rpartition(":")
+        if not sep:
+            ap.error(f"--file-floor needs PATH:PCT, got {spec!r}")
+        file_floors.append((os.path.normpath(path), float(pct)))
 
     # (file, line) -> max hit count across all translation units.
     hits = {}
@@ -83,11 +98,29 @@ def main() -> int:
     print(f"\nTOTAL {pct:.2f}% line coverage "
           f"({covered}/{total} lines, floor {args.fail_under}%)")
 
+    failed = False
+    for floor_path, floor_pct in file_floors:
+        matches = [p for p in per_file if p.endswith(floor_path)]
+        if not matches:
+            print(f"check_coverage: FAIL — no covered file matches "
+                  f"{floor_path!r}", file=sys.stderr)
+            failed = True
+            continue
+        for p in matches:
+            c, t = per_file[p]
+            fpct = 100.0 * c / t
+            if fpct < floor_pct:
+                print(f"check_coverage: FAIL — {p} at {fpct:.2f}% "
+                      f"< {floor_pct}%", file=sys.stderr)
+                failed = True
+            else:
+                print(f"check_coverage: {p} {fpct:.2f}% >= {floor_pct}% ok")
+
     if pct < args.fail_under:
         print(f"check_coverage: FAIL — {pct:.2f}% < {args.fail_under}%",
               file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,807 @@
+#!/usr/bin/env python3
+"""pdc-analyze: whole-program semantic analyzer for the pdc tree.
+
+The paper's two contracts are runtime-checked today (the mp lockstep
+auditor, the differential suites) but a violation only surfaces if a test
+happens to exercise the divergent path.  This tool checks them statically,
+before anything runs, with three interprocedural checks:
+
+  PDA100 rank-divergent-collective
+      An mp::Comm collective (or a call to a function that transitively
+      reaches one) under a branch whose condition is tainted by rank(),
+      local partition sizes, or I/O results.  Static complement to the
+      runtime mp::LockstepError auditor.
+
+  PDA200 unbounded-materialization
+      Per-record container growth (push_back/emplace_back/insert on a
+      container that escapes the loop) inside a RecordSource/BlockReader
+      scan loop.  Out-of-core discipline allows only the pre-drawn sample,
+      interval histograms, and small-node direct-method buffers to be
+      resident; those sites carry a `// pdc: incore(reason)` annotation
+      and are inventoried (not flagged) in the report.
+
+  PDA300 uncharged-io
+      Raw I/O (fopen/fread/fwrite and friends) in a function with no
+      modeled-clock charge (charge_io*/charge_read/charge_write/add_io/
+      settle_async/CostHooks).  Functions that are charged elsewhere by
+      design (async worker bodies settled later, observer exports outside
+      the modeled timeline) carry `// pdc: io-wrapper(reason)` and are
+      inventoried.
+
+Frontends (mirrors scripts/run_tidy.py):
+  * libclang, driven by compile_commands.json, when the python bindings
+    are importable — sharpens PDA100 with AST-accurate branch scoping.
+  * AST-lite otherwise: comment/string-stripped text, brace-matched
+    function extraction, regex taint seeds with intra-function fixpoint
+    propagation, and a name-keyed transitive call graph.  PDA200/PDA300
+    always run on the AST-lite engine (they are annotation-driven and
+    line-scoped); the reduced mode is the tested baseline everywhere.
+
+Reduced-mode semantics (documented deviations from the full analysis):
+  * the call graph is name-keyed, so overloads share one node;
+  * taint is intra-function (seeds + assignment fixpoint), and
+    local-partition-size taint is approximated through I/O-result
+    propagation (a size() of a buffer filled from read_file/next_block
+    is tainted because the buffer is);
+  * dominance for PDA300 is "a charge token appears in the same
+    function", not true CFG dominance.
+
+Suppress PDA100/PDA300 findings with the pdc-lint grammar and a reason:
+
+    if (comm.rank() == 0) comm.barrier();  // pdc-lint: allow(PDA100) -- why
+
+Output: human text, a `pdc.analysis.v1` JSON report (--json), and SARIF
+2.1.0 (--sarif) for CI PR annotation.  Whole-run result cache keyed on
+the content hash of the scripts plus every scanned file (--cache-dir,
+default .analyze-cache; CI persists it with actions/cache).
+
+Usage:
+    pdc_analyze.py [paths...]       analyze trees (default: src)
+    --mode auto|ast-lite|libclang   frontend selection (default: auto)
+    --build-dir DIR                 compile_commands.json location for
+                                    libclang mode (default: build)
+    --json OUT.json                 write the pdc.analysis.v1 report
+    --sarif OUT.sarif               write SARIF 2.1.0
+    --cache-dir DIR / --no-cache    whole-run result cache
+    --list-checks                   print the check table and exit
+
+Exit status: 0 clean, 1 findings, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from pdc_lint import (Rule, iter_targets, relpath, sarif_report,
+                      strip_comments_and_strings)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA = "pdc.analysis.v1"
+TOOL_VERSION = "1.0"
+
+CHECKS = [
+    Rule("PDA100", "rank-divergent-collective",
+         "collective reachable under a rank/partition/I-O-tainted branch",
+         True),
+    Rule("PDA200", "unbounded-materialization",
+         "per-record container growth escaping a scan loop without a "
+         "pdc: incore(reason) annotation", True),
+    Rule("PDA300", "uncharged-io",
+         "raw I/O with no modeled-clock charge in the same function and "
+         "no pdc: io-wrapper(reason) annotation", True),
+]
+
+# mp::Comm collective primitives (src/mp/comm.hpp).  `split` is matched
+# only on comm-named receivers because the identifier is ubiquitous in
+# tree code (clouds::Split members).
+COLLECTIVES = (
+    "barrier", "all_to_all_broadcast", "all_gather", "gather",
+    "broadcast", "broadcast_value", "all_reduce", "all_reduce_vec",
+    "prefix_sum", "min_loc", "all_to_all",
+)
+COLLECTIVE_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(COLLECTIVES) + r")\s*(?:<[^;(]*>)?\s*\(")
+COMM_SPLIT_RE = re.compile(r"\bcomm\w*\s*(?:\.|->)\s*(split)\s*\(")
+
+# The collective implementation itself (and the auditor it feeds) is the
+# one place allowed to branch around collective internals.
+PDA100_FILE_ALLOWLIST = (
+    "src/mp/comm.hpp",
+    "src/mp/lockstep.hpp",
+    "src/mp/lockstep.cpp",
+)
+
+# Taint seeds: rank identity, and I/O results (local partition sizes are
+# reached through propagation from these — see the module docstring).
+TAINT_SEED_RE = re.compile(
+    r"(?:\.|->|\b)(?:rank|global_rank)\s*\(\s*\)|"
+    r"(?:\.|->)\s*(?:next_block|read_file|file_records|file_bytes|exists|"
+    r"probe|remaining)\s*(?:<[^;(]*>)?\s*\(|"
+    r"\bfread\s*\(")
+
+# A value produced by a symmetric collective is rank-uniform by contract:
+# assigning through one of these CLEANSES taint (the lockstep-safe
+# "launder a local size through all_reduce(max)" idiom).  prefix_sum,
+# all_to_all, gather and split are excluded — their results differ per
+# rank.
+UNIFORM_COLLECTIVE_RE = re.compile(
+    r"(?:\.|->)\s*(?:all_reduce|all_reduce_vec|broadcast|broadcast_value|"
+    r"all_gather|all_to_all_broadcast|min_loc)\s*(?:<[^;(]*>)?\s*\(")
+
+# push_back/emplace_back/insert only: BlockWriter::append and friends are
+# disk writes, not materialization.  The optional subscript handles one
+# level of nesting (outgoing[assign.owner[i]].push_back).
+GROWTH_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\[(?:[^\[\]]|\[[^\]]*\])*\]\s*)?(?:\.|->)\s*"
+    r"(push_back|emplace_back|insert)\s*\(")
+
+RAW_IO_RE = re.compile(
+    r"\b(?:std::)?(fopen|fread|fwrite)\s*\(")
+CHARGE_RE = re.compile(
+    r"\b(?:charge_read|charge_write|charge_io\w*|charge_bytes|charge_scan|"
+    r"add_io|settle_async)\s*\(|\bCostHooks\b")
+
+INCORE_RE = re.compile(r"pdc:\s*incore\(([^)]*)\)")
+IOWRAP_RE = re.compile(r"pdc:\s*io-wrapper\(([^)]*)\)")
+ALLOW_RE = re.compile(
+    r"pdc-lint:\s*allow\(\s*(PDA\d{3})\s*\)\s*(--\s*\S.*)?")
+
+CONTROL_RE = re.compile(r"\b(if|while|for|switch)\s*\(")
+# A declaration of NAME inside a region: a type-ish token, whitespace,
+# NAME, then an initializer/terminator.  Heuristic, but scan-loop bodies
+# are small and idiomatic.
+def _decl_re(name: str) -> re.Pattern:
+    return re.compile(
+        r"(?:^|[;{}(,]|\bauto\s|>\s)\s*"
+        r"(?:const\s+)?[A-Za-z_][\w:]*(?:<[^;{}]*>)?(?:\s*[&*])?\s+"
+        + re.escape(name) + r"\s*(?:[;={(\[]|\s*$)", re.M)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    slug: str
+    message: str
+    function: str = ""
+
+    def render(self) -> str:
+        where = f" in {self.function}()" if self.function else ""
+        return (f"{self.path}:{self.line}: {self.rule} [{self.slug}]"
+                f"{where} {self.message}")
+
+
+@dataclass
+class Function:
+    name: str
+    path: str
+    start: int        # offset into the stripped text
+    end: int
+    start_line: int
+    end_line: int
+    body: str = ""
+    calls: set = field(default_factory=set)
+    has_collective: bool = False
+
+
+@dataclass
+class FileModel:
+    path: str                    # repo-relative
+    raw_lines: list
+    code: str                    # stripped text
+    functions: list
+    allowed: dict                # line -> {rule ids}
+    bare_allows: list            # lines with reasonless allow()
+    incore: dict                 # line -> reason
+    iowrap: dict                 # line -> reason
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Offset just past the ')' matching the '(' at open_idx (or len)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Offset just past the '}' matching the '{' at open_idx (or len)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+FUNC_HEAD_RE = re.compile(
+    r"([A-Za-z_~][\w:]*)\s*\([^;{}()]*(?:\([^;{}()]*\)[^;{}()]*)*\)\s*"
+    r"(?:const\b\s*)?(?:noexcept\b[^;{}]*)?(?:->\s*[\w:<>,\s&*]+?)?\s*$")
+
+NON_FUNC_KEYWORDS = {"if", "while", "for", "switch", "catch", "return",
+                     "sizeof", "static_assert", "alignas", "decltype",
+                     "new", "delete", "throw", "else", "do", "operator"}
+
+
+def extract_functions(rel: str, code: str):
+    """Brace-matched function extraction over stripped text.
+
+    A '{' opens a function body when the text since the previous
+    ; { } (at the same nesting) looks like `name(args) qualifiers`.
+    Lambdas and nested blocks stay inside their enclosing function.
+    """
+    functions = []
+    i = 0
+    n = len(code)
+    seg_start = 0
+    while i < n:
+        c = code[i]
+        if c in ";}":
+            seg_start = i + 1
+            i += 1
+            continue
+        if c != "{":
+            i += 1
+            continue
+        head = code[seg_start:i].strip()
+        # struct/class/namespace/enum blocks: descend into them.
+        if re.search(r"\b(namespace|class|struct|union|enum)\b[^=()]*$",
+                     head) or not head:
+            seg_start = i + 1
+            i += 1
+            continue
+        m = FUNC_HEAD_RE.search(head)
+        name = m.group(1).split("::")[-1] if m else ""
+        if not m or name in NON_FUNC_KEYWORDS:
+            # Initializer list, array literal, control block...  skip the
+            # brace itself but keep scanning inside it.
+            seg_start = i + 1
+            i += 1
+            continue
+        end = match_brace(code, i)
+        start_line = code.count("\n", 0, i) + 1
+        end_line = code.count("\n", 0, end) + 1
+        functions.append(Function(
+            name=name, path=rel, start=i, end=end,
+            start_line=start_line, end_line=end_line,
+            body=code[i:end]))
+        i = end
+        seg_start = end
+    return functions
+
+
+def load_file(path: str) -> FileModel:
+    rel = relpath(path)
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code = strip_comments_and_strings(text)
+
+    allowed, bare, incore, iowrap = {}, [], {}, {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        for m in ALLOW_RE.finditer(line):
+            if m.group(2):
+                allowed.setdefault(lineno, set()).add(m.group(1))
+            else:
+                bare.append((lineno, m.group(1)))
+        m = INCORE_RE.search(line)
+        if m:
+            incore[lineno] = m.group(1).strip()
+        m = IOWRAP_RE.search(line)
+        if m:
+            iowrap[lineno] = m.group(1).strip()
+
+    return FileModel(path=rel, raw_lines=raw_lines, code=code,
+                     functions=extract_functions(rel, code),
+                     allowed=allowed, bare_allows=bare,
+                     incore=incore, iowrap=iowrap)
+
+
+# --------------------------------------------------------------- PDA100 ---
+
+def direct_collectives(body: str):
+    """Offsets (relative to body) and names of collective call sites."""
+    sites = [(m.start(), m.group(1)) for m in COLLECTIVE_RE.finditer(body)]
+    sites += [(m.start(), m.group(1)) for m in COMM_SPLIT_RE.finditer(body)]
+    return sites
+
+
+def build_call_graph(models):
+    """Name-keyed call graph; returns the set of function names that
+    transitively reach an mp::Comm collective call site.
+
+    Reduced-mode conservatism: a name is considered reaching only when
+    EVERY definition of that name reaches.  The name key merges overloads
+    and unrelated same-named methods (AsyncEngine::run vs DcDriver::run);
+    all-definitions semantics keeps those collisions from poisoning the
+    whole graph, while the common case — a uniquely named helper that
+    wraps a collective — stays exact."""
+    defs = {}
+    for fm in models:
+        for fn in fm.functions:
+            fn.has_collective = bool(direct_collectives(fn.body))
+            defs.setdefault(fn.name, []).append(fn)
+    name_re = re.compile(r"\b([A-Za-z_]\w*)\s*(?:<[^;(]*>)?\s*\(")
+    for fm in models:
+        for fn in fm.functions:
+            fn.calls = {m.group(1) for m in name_re.finditer(fn.body)
+                        if m.group(1) in defs and m.group(1) != fn.name}
+    reaches = {name for name, fns in defs.items()
+               if all(fn.has_collective for fn in fns)}
+    changed = True
+    while changed:
+        changed = False
+        for name, fns in defs.items():
+            if name in reaches:
+                continue
+            if all(fn.has_collective or fn.calls & reaches for fn in fns):
+                reaches.add(name)
+                changed = True
+    return reaches
+
+
+def tainted_vars(body: str) -> set:
+    """Intra-function taint: variables assigned from a seed expression or
+    from an already-tainted variable, to a fixpoint."""
+    tainted = set()
+    assign_re = re.compile(
+        r"\b([A-Za-z_]\w*)\s*(?:=|\+=|-=)\s*([^;]*);")
+    decl_init_re = re.compile(
+        r"\b([A-Za-z_]\w*)\s*[({]([^;{}]*next_block[^;{}]*|"
+        r"[^;{}]*read_file[^;{}]*|[^;{}]*\brank\s*\(\s*\)[^;{}]*)[)}]")
+    statements = [(m.group(1), m.group(2)) for m in
+                  assign_re.finditer(body)]
+    statements += [(m.group(1), m.group(2)) for m in
+                   decl_init_re.finditer(body)]
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in statements:
+            if lhs in tainted:
+                continue
+            if UNIFORM_COLLECTIVE_RE.search(rhs):
+                continue  # rank-uniform by the collective's contract
+            if TAINT_SEED_RE.search(rhs) or any(
+                    re.search(r"\b" + re.escape(v) + r"\b", rhs)
+                    for v in tainted):
+                tainted.add(lhs)
+                changed = True
+    return tainted
+
+
+def tainted_regions(fn: Function, extra_tainted: set):
+    """(start, end) offsets (body-relative) of statements governed by a
+    branch whose condition is tainted."""
+    regions = []
+    for m in CONTROL_RE.finditer(fn.body):
+        open_paren = m.end() - 1
+        close = match_paren(fn.body, open_paren)
+        cond = fn.body[open_paren:close]
+        if m.group(1) == "for":
+            # Only the condition clause of a for(;;) decides divergence.
+            parts = cond.split(";")
+            cond = parts[1] if len(parts) >= 2 else cond
+        is_tainted = bool(TAINT_SEED_RE.search(cond)) or any(
+            re.search(r"\b" + re.escape(v) + r"\b", cond)
+            for v in extra_tainted)
+        if not is_tainted:
+            continue
+        j = close
+        while j < len(fn.body) and fn.body[j] in " \t\n":
+            j += 1
+        if j < len(fn.body) and fn.body[j] == "{":
+            end = match_brace(fn.body, j)
+        else:
+            end = fn.body.find(";", j)
+            end = len(fn.body) if end < 0 else end + 1
+        regions.append((close, end))
+        # An else branch of a tainted condition is equally divergent.
+        k = end
+        while True:
+            while k < len(fn.body) and fn.body[k] in " \t\n":
+                k += 1
+            if not fn.body.startswith("else", k):
+                break
+            k += 4
+            while k < len(fn.body) and fn.body[k] in " \t\n":
+                k += 1
+            if fn.body.startswith("if", k):
+                break  # else-if has its own condition; handled by its match
+            if k < len(fn.body) and fn.body[k] == "{":
+                k2 = match_brace(fn.body, k)
+            else:
+                k2 = fn.body.find(";", k)
+                k2 = len(fn.body) if k2 < 0 else k2 + 1
+            regions.append((k, k2))
+            k = k2
+    return regions
+
+
+def check_pda100(fm: FileModel, reaches, add):
+    if fm.path in PDA100_FILE_ALLOWLIST:
+        return
+    name_re = re.compile(r"\b([A-Za-z_]\w*)\s*(?:<[^;(]*>)?\s*\(")
+    for fn in fm.functions:
+        regions = tainted_regions(fn, tainted_vars(fn.body))
+        if not regions:
+            continue
+
+        def in_tainted(off):
+            return any(a <= off < b for a, b in regions)
+
+        for off, prim in direct_collectives(fn.body):
+            if in_tainted(off):
+                line = fn.body.count("\n", 0, off) + fn.start_line
+                add(fm, line, "PDA100", fn.name,
+                    f"collective {prim}() under a tainted branch")
+        for m in name_re.finditer(fn.body):
+            callee = m.group(1)
+            if callee in reaches and callee != fn.name \
+                    and in_tainted(m.start()):
+                line = fn.body.count("\n", 0, m.start()) + fn.start_line
+                add(fm, line, "PDA100", fn.name,
+                    f"call to {callee}() (transitively reaches a "
+                    "collective) under a tainted branch")
+
+
+# --------------------------------------------------------------- PDA200 ---
+
+def scan_regions(code: str):
+    """(start, end) offsets of scan-loop bodies: lambdas passed to a
+    scan(...) call, and loops that consume BlockReader::next_block."""
+    regions = []
+    # Any *scan*-named call taking a lambda, including the curried
+    # make_scan(file, block)([&](const T& rec) { ... }) form the dc driver
+    # uses.  A scan callback bound to a named variable first is invisible
+    # to the reduced mode (documented limitation).
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code):
+        if "scan" not in m.group(1):
+            continue
+        close = match_paren(code, m.end() - 1)
+        arg_start, arg_end = m.end(), close
+        j = close
+        while j < len(code) and code[j] in " \t\n":
+            j += 1
+        if j < len(code) and code[j] == "(":  # curried: scan maker
+            arg_start, arg_end = j + 1, match_paren(code, j)
+        args = code[arg_start:arg_end]
+        lam = args.find("[")
+        if lam < 0:
+            continue
+        brace = code.find("{", arg_start + lam)
+        if brace < 0 or brace >= arg_end:
+            continue
+        regions.append((brace, match_brace(code, brace)))
+    loops = []
+    for m in re.finditer(r"\b(while|for|do)\s*[({]", code):
+        kw = m.group(1)
+        if kw == "do":
+            brace = code.find("{", m.start())
+            if brace < 0:
+                continue
+            start, end = brace, match_brace(code, brace)
+            cond = ""
+        else:
+            close = match_paren(code, m.end() - 1)
+            j = close
+            while j < len(code) and code[j] in " \t\n":
+                j += 1
+            if j >= len(code) or code[j] != "{":
+                continue
+            start, end = j, match_brace(code, j)
+            cond = code[m.start():close]
+        if "next_block" in cond or "next_block" in code[start:end]:
+            loops.append((start, end))
+    # The scan semantics belong to the INNERMOST loop consuming blocks: an
+    # outer node-processing loop that merely contains a block loop is not
+    # itself a per-record region (its own growth is per-node, not
+    # per-record).
+    for a, b in loops:
+        if not any((a, b) != (c, d) and a <= c and d <= b
+                   for c, d in loops):
+            regions.append((a, b))
+    return sorted(set(regions))
+
+
+def check_pda200(fm: FileModel, add, incore_zones):
+    regions = scan_regions(fm.code)
+    flagged = set()
+    for start, end in regions:
+        body = fm.code[start:end]
+        for m in GROWTH_RE.finditer(body):
+            root = m.group(1)
+            if root in ("out", "result") and m.group(2) == "insert":
+                pass  # byte-blob append idiom; still subject to escape test
+            if _decl_re(root).search(body[:m.start()]):
+                continue  # container lives and dies inside the loop
+            off = start + m.start()
+            line = fm.code.count("\n", 0, off) + 1
+            if line in flagged:
+                continue
+            reason = fm.incore.get(line)
+            if reason is None:
+                reason = fm.incore.get(line - 1)
+            if reason is not None:
+                if not reason:
+                    add(fm, line, "PDA200", "",
+                        "pdc: incore() annotation must carry a reason")
+                continue  # inventoried below from the annotation map
+            flagged.add(line)
+            add(fm, line, "PDA200", "",
+                f"{root}.{m.group(2)}() grows a container that escapes "
+                "a scan loop (annotate pdc: incore(reason) if this zone "
+                "is part of the bounded in-core budget)")
+    for line, reason in sorted(fm.incore.items()):
+        incore_zones.append({"file": fm.path, "line": line,
+                             "reason": reason})
+
+
+# --------------------------------------------------------------- PDA300 ---
+
+def check_pda300(fm: FileModel, add, io_wrappers):
+    for fn in fm.functions:
+        sites = list(RAW_IO_RE.finditer(fn.body))
+        if not sites:
+            continue
+        wrap_reason = None
+        for line in range(fn.start_line, fn.end_line + 1):
+            if line in fm.iowrap:
+                wrap_reason = fm.iowrap[line]
+                break
+        if wrap_reason is not None:
+            if not wrap_reason:
+                add(fm, fn.start_line, "PDA300", fn.name,
+                    "pdc: io-wrapper() annotation must carry a reason")
+            else:
+                io_wrappers.append({"file": fm.path,
+                                    "line": fn.start_line,
+                                    "function": fn.name,
+                                    "reason": wrap_reason})
+            continue
+        if CHARGE_RE.search(fn.body):
+            continue
+        for m in sites:
+            line = fn.body.count("\n", 0, m.start()) + fn.start_line
+            add(fm, line, "PDA300", fn.name,
+                f"{m.group(1)}() with no modeled-clock charge in this "
+                "function (charge it, or annotate the function "
+                "pdc: io-wrapper(reason))")
+
+
+# ------------------------------------------------------ libclang frontend ---
+
+def try_libclang_pda100(models, build_dir, findings, add):
+    """Best-effort AST-accurate PDA100 via the libclang python bindings.
+
+    Returns True when libclang analyzed the TUs (its findings replace the
+    AST-lite PDA100 set); False means unavailable and the caller keeps the
+    reduced-mode results.  Any failure degrades, never aborts.
+    """
+    try:
+        from clang import cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        db_path = os.path.join(build_dir, "compile_commands.json")
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+        index = cindex.Index.create()
+        rel_set = {fm.path for fm in models}
+        by_rel = {fm.path: fm for fm in models}
+        seen = set()
+        taint_names = {"rank", "global_rank", "next_block", "read_file",
+                       "file_records", "file_bytes", "exists", "probe",
+                       "remaining"}
+
+        def expr_tainted(cur):
+            for c in cur.walk_preorder():
+                if c.kind in (cindex.CursorKind.CALL_EXPR,
+                              cindex.CursorKind.MEMBER_REF_EXPR) \
+                        and c.spelling in taint_names:
+                    return True
+            return False
+
+        def visit(cur, under_taint):
+            k = cur.kind
+            if k in (cindex.CursorKind.IF_STMT,
+                     cindex.CursorKind.WHILE_STMT,
+                     cindex.CursorKind.SWITCH_STMT):
+                kids = list(cur.get_children())
+                if kids and expr_tainted(kids[0]):
+                    under_taint = True
+            if k == cindex.CursorKind.CALL_EXPR \
+                    and cur.spelling in COLLECTIVES and under_taint:
+                loc = cur.location
+                if loc.file:
+                    rel = relpath(loc.file.name)
+                    if rel in rel_set and (rel, loc.line) not in seen:
+                        seen.add((rel, loc.line))
+                        add(by_rel[rel], loc.line, "PDA100", "",
+                            f"collective {cur.spelling}() under a "
+                            "tainted branch [libclang]")
+            for c in cur.get_children():
+                visit(c, under_taint)
+
+        for e in entries:
+            args = [a for a in (e.get("arguments") or e["command"].split())
+                    if a not in ("-c", "-o")][1:]
+            tu = index.parse(e["file"], args=args)
+            visit(tu.cursor, False)
+        return True
+    except Exception as exc:  # degrade to the reduced mode
+        print(f"pdc_analyze: libclang frontend failed ({exc}); "
+              "keeping AST-lite results", file=sys.stderr)
+        return False
+
+
+# ----------------------------------------------------------------- driver ---
+
+def analyze(paths, mode, build_dir):
+    models = [load_file(p) for p in iter_targets(paths)]
+    findings = []
+    suppressions = []
+    incore_zones = []
+    io_wrappers = []
+
+    def add(fm: FileModel, line: int, rule_id: str, function: str,
+            message: str):
+        if rule_id in fm.allowed.get(line, ()):
+            m = ALLOW_RE.search(fm.raw_lines[line - 1]) \
+                if line - 1 < len(fm.raw_lines) else None
+            reason = (m.group(2) or "").lstrip("- ").strip() if m else ""
+            suppressions.append({"id": rule_id, "file": fm.path,
+                                 "line": line, "reason": reason})
+            return
+        check = next(c for c in CHECKS if c.rule_id == rule_id)
+        findings.append(Finding(fm.path, line, rule_id, check.slug,
+                                message, function))
+
+    for fm in models:
+        for line, rule_id in fm.bare_allows:
+            add(fm, line, rule_id, "",
+                f"{rule_id} suppression without a '-- reason'")
+
+    reaches = build_call_graph(models)
+
+    used_libclang = False
+    if mode in ("auto", "libclang"):
+        pre = len(findings)
+        used_libclang = try_libclang_pda100(models, build_dir, findings,
+                                           add)
+        if not used_libclang:
+            if mode == "libclang":
+                sys.exit("pdc_analyze: --mode libclang requested but the "
+                         "clang python bindings are not importable")
+            del findings[pre:]
+    if not used_libclang:
+        for fm in models:
+            check_pda100(fm, reaches, add)
+    for fm in models:
+        check_pda200(fm, add, incore_zones)
+        check_pda300(fm, add, io_wrappers)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    by_check = {c.rule_id: 0 for c in CHECKS}
+    for f in findings:
+        by_check[f.rule] += 1
+    report = {
+        "schema": SCHEMA,
+        "tool": {"name": "pdc-analyze", "version": TOOL_VERSION},
+        "mode": "libclang+ast-lite" if used_libclang else "ast-lite",
+        "files_scanned": len(models),
+        "checks": [{"id": c.rule_id, "name": c.slug,
+                    "description": c.description} for c in CHECKS],
+        "findings": [{"id": f.rule, "file": f.path, "line": f.line,
+                      "function": f.function, "message": f.message}
+                     for f in findings],
+        "suppressions": sorted(suppressions,
+                               key=lambda s: (s["file"], s["line"])),
+        "incore_zones": sorted(incore_zones,
+                               key=lambda z: (z["file"], z["line"])),
+        "io_wrappers": sorted(io_wrappers,
+                              key=lambda w: (w["file"], w["line"])),
+        "summary": {"findings": len(findings), "by_check": by_check,
+                    "suppressed": len(suppressions),
+                    "incore_zones": len(incore_zones),
+                    "io_wrappers": len(io_wrappers)},
+    }
+    return findings, report
+
+
+def run_cache_key(paths, mode):
+    h = hashlib.sha256()
+    for script in ("pdc_analyze.py", "pdc_lint.py"):
+        with open(os.path.join(REPO_ROOT, "scripts", script), "rb") as f:
+            h.update(f.read())
+    h.update(mode.encode())
+    for p in sorted(iter_targets(paths), key=relpath):
+        h.update(relpath(p).encode())
+        with open(p, "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pdc_analyze.py",
+        description="whole-program semantic analyzer for the pdc tree")
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--mode", default="auto",
+                        choices=["auto", "ast-lite", "libclang"])
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--json", metavar="OUT", dest="json_out")
+    parser.add_argument("--sarif", metavar="OUT")
+    parser.add_argument("--cache-dir",
+                        default=os.path.join(REPO_ROOT, ".analyze-cache"))
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(f"{c.rule_id}  {c.slug:<28} {c.description}")
+        return 0
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+
+    report = None
+    cache_file = None
+    if not args.no_cache:
+        key = run_cache_key(paths, args.mode)
+        cache_file = os.path.join(args.cache_dir, key + ".json")
+        if os.path.exists(cache_file):
+            with open(cache_file, encoding="utf-8") as f:
+                report = json.load(f)
+            findings = [Finding(d["file"], d["line"], d["id"],
+                                next(c.slug for c in CHECKS
+                                     if c.rule_id == d["id"]),
+                                d["message"], d.get("function", ""))
+                        for d in report["findings"]]
+            print("pdc_analyze: cache hit", file=sys.stderr)
+
+    if report is None:
+        findings, report = analyze(paths, args.mode, args.build_dir)
+        if cache_file:
+            os.makedirs(args.cache_dir, exist_ok=True)
+            with open(cache_file, "w", encoding="utf-8") as f:
+                json.dump(report, f)
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as f:
+            json.dump(sarif_report(findings, "pdc-analyze", CHECKS), f,
+                      indent=2)
+            f.write("\n")
+
+    for f in findings:
+        print(f.render())
+    s = report["summary"]
+    print(f"pdc-analyze [{report['mode']}]: {report['files_scanned']} "
+          f"file(s), {s['findings']} finding(s), {s['suppressed']} "
+          f"suppressed, {s['incore_zones']} incore zone(s), "
+          f"{s['io_wrappers']} io wrapper(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

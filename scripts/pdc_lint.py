@@ -31,6 +31,8 @@ Usage:
                                 (used by the fixture self-test)
     --list-rules                print the rule table and exit
     --json                      machine-readable findings on stdout
+    --sarif OUT.sarif           also write findings as SARIF 2.1.0 (CI
+                                uploads this so findings annotate PRs)
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -298,6 +300,53 @@ def lint_file(path: str, assume_src: bool):
     return findings
 
 
+def sarif_report(findings, tool_name: str, rules):
+    """SARIF 2.1.0 document for a list of Finding-shaped objects.
+
+    Shared by pdc_lint and pdc_analyze (which imports this module) so both
+    tools annotate PRs through the same CI upload path.  `rules` is any
+    iterable of objects with rule_id/slug/description attributes.
+    """
+    rule_ids = sorted({f.rule for f in findings} |
+                      {r.rule_id for r in rules})
+    by_id = {r.rule_id: r for r in rules}
+    sarif_rules = []
+    for rid in rule_ids:
+        r = by_id.get(rid)
+        sarif_rules.append({
+            "id": rid,
+            "name": r.slug if r else rid,
+            "shortDescription": {"text": r.description if r else rid},
+        })
+    index = {rid: i for i, rid in enumerate(rule_ids)}
+    results = [{
+        "ruleId": f.rule,
+        "ruleIndex": index[f.rule],
+        "level": "error",
+        "message": {"text": f"[{f.slug}] {f.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": f.line},
+            },
+        }],
+    } for f in findings]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": tool_name,
+                                "informationUri":
+                                    "https://example.invalid/pdc",
+                                "rules": sarif_rules}},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
 def iter_targets(paths):
     for p in paths:
         if os.path.isdir(p):
@@ -322,6 +371,8 @@ def main(argv=None) -> int:
                         help="apply src-scoped rules to every input")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument("--sarif", metavar="OUT",
+                        help="write findings as SARIF 2.1.0 to OUT")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -337,6 +388,12 @@ def main(argv=None) -> int:
         nfiles += 1
         findings.extend(lint_file(path, args.assume_src))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as f:
+            json.dump(sarif_report(findings, "pdc-lint", RULES), f,
+                      indent=2)
+            f.write("\n")
 
     if args.as_json:
         print(json.dumps([f.__dict__ for f in findings], indent=2))

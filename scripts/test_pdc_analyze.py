@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Unit tests for pdc_analyze.py: each negative fixture triggers exactly
+its intended check (marker lines `expect-PDAnnn` match findings one to
+one), the clean fixture stays quiet, annotations are inventoried, the
+whole-run cache replays byte-identically, and the repo's own src tree
+analyzes clean.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pdc_analyze  # noqa: E402
+
+FIXTURES = os.path.join(pdc_analyze.REPO_ROOT, "tests",
+                        "analyzer_fixtures")
+
+
+def analyze_fixture(*names):
+    paths = [os.path.join(FIXTURES, n) for n in names]
+    return pdc_analyze.analyze(paths, "ast-lite", "build")
+
+
+def marker_lines(name, rule_id):
+    """Lines carrying an `expect-PDAnnn` marker in a fixture comment."""
+    lines = []
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if "expect-" + rule_id in line:
+                lines.append(lineno)
+    return lines
+
+
+class NegativeFixtures(unittest.TestCase):
+    """Each bad_* fixture yields exactly its annotated findings, and only
+    findings of its intended check."""
+
+    CASES = {
+        "bad_pda100_direct.cpp": "PDA100",
+        "bad_pda100_interproc.cpp": "PDA100",
+        "bad_pda200_scan.cpp": "PDA200",
+        "bad_pda300_io.cpp": "PDA300",
+    }
+
+    def test_marker_lines_match_findings_exactly(self):
+        for fixture, rule in self.CASES.items():
+            with self.subTest(fixture=fixture):
+                expected = marker_lines(fixture, rule)
+                self.assertTrue(expected, f"{fixture} has no markers")
+                findings, _ = analyze_fixture(fixture)
+                self.assertEqual([f.rule for f in findings],
+                                 [rule] * len(expected))
+                self.assertEqual([f.line for f in findings], expected)
+
+    def test_no_cross_check_bleed(self):
+        for fixture, rule in self.CASES.items():
+            findings, _ = analyze_fixture(fixture)
+            self.assertEqual({f.rule for f in findings}, {rule},
+                             f"{fixture} triggered a different check")
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_fixture_has_no_findings(self):
+        findings, report = analyze_fixture("good_clean.cpp")
+        self.assertEqual([f.render() for f in findings], [])
+        self.assertEqual(report["summary"]["findings"], 0)
+
+
+class Report(unittest.TestCase):
+    def test_schema_and_summary_are_consistent(self):
+        findings, report = analyze_fixture(*sorted(os.listdir(FIXTURES)))
+        self.assertEqual(report["schema"], "pdc.analysis.v1")
+        self.assertEqual(report["mode"], "ast-lite")
+        self.assertEqual(report["summary"]["findings"], len(findings))
+        by_check = report["summary"]["by_check"]
+        self.assertEqual(sorted(by_check), ["PDA100", "PDA200", "PDA300"])
+        for rule in by_check:
+            self.assertEqual(by_check[rule],
+                             sum(1 for f in findings if f.rule == rule))
+        self.assertEqual(report["summary"]["incore_zones"],
+                         len(report["incore_zones"]))
+
+    def test_incore_zones_are_inventoried_with_reasons(self):
+        _, report = analyze_fixture("bad_pda200_scan.cpp")
+        reasons = [z["reason"] for z in report["incore_zones"]]
+        self.assertIn("fixture pre-drawn sample: bounded by the sample "
+                      "rate", reasons)
+
+    def test_io_wrappers_are_inventoried_with_reasons(self):
+        _, report = analyze_fixture("bad_pda300_io.cpp")
+        wrappers = {w["function"]: w["reason"]
+                    for w in report["io_wrappers"]}
+        self.assertEqual(
+            wrappers.get("wrapped_write_is_clean"),
+            "fixture wrapper: the caller pays at settle time")
+
+    def test_suppressions_are_counted_with_reasons(self):
+        _, report = analyze_fixture("bad_pda100_interproc.cpp")
+        self.assertEqual(report["summary"]["suppressed"], 1)
+        sup = report["suppressions"][0]
+        self.assertEqual(sup["id"], "PDA100")
+        self.assertIn("single-rank subtree", sup["reason"])
+
+
+class TaintEngine(unittest.TestCase):
+    def test_uniform_collective_cleanses_taint(self):
+        body = ("{ const int rounds = comm.all_reduce(local); "
+                "const int mine = comm.rank(); }")
+        tainted = pdc_analyze.tainted_vars(body)
+        self.assertIn("mine", tainted)
+        self.assertNotIn("rounds", tainted)
+
+    def test_assignment_fixpoint_propagates(self):
+        body = ("{ const int a = comm.rank(); int b = a + 1; "
+                "int c = b * 2; int d = 7; }")
+        tainted = pdc_analyze.tainted_vars(body)
+        self.assertEqual(tainted & {"a", "b", "c", "d"}, {"a", "b", "c"})
+
+
+class SarifOutput(unittest.TestCase):
+    def test_sarif_results_match_findings(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "out.sarif")
+            rc = pdc_analyze.main(
+                ["--no-cache", "--sarif", out,
+                 os.path.join(FIXTURES, "bad_pda300_io.cpp")])
+            self.assertEqual(rc, 1)
+            with open(out, encoding="utf-8") as f:
+                doc = json.load(f)
+            self.assertEqual(doc["version"], "2.1.0")
+            results = doc["runs"][0]["results"]
+            self.assertEqual({r["ruleId"] for r in results}, {"PDA300"})
+            self.assertEqual(len(results),
+                             len(marker_lines("bad_pda300_io.cpp",
+                                              "PDA300")))
+
+
+class RunCache(unittest.TestCase):
+    def test_cache_replays_identical_report(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = os.path.join(tmp, "cache")
+            fixture = os.path.join(FIXTURES, "bad_pda100_direct.cpp")
+            outs = []
+            for i in range(2):
+                out = os.path.join(tmp, f"r{i}.json")
+                rc = pdc_analyze.main(
+                    ["--cache-dir", cache, "--json", out, fixture])
+                self.assertEqual(rc, 1)
+                with open(out, encoding="utf-8") as f:
+                    outs.append(json.load(f))
+            self.assertEqual(outs[0], outs[1])
+            self.assertEqual(len(os.listdir(cache)), 1)
+
+    def test_cache_key_tracks_content(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "f.cpp")
+            shutil.copy(os.path.join(FIXTURES, "good_clean.cpp"), src)
+            k1 = pdc_analyze.run_cache_key([src], "ast-lite")
+            with open(src, "a", encoding="utf-8") as f:
+                f.write("// changed\n")
+            k2 = pdc_analyze.run_cache_key([src], "ast-lite")
+            self.assertNotEqual(k1, k2)
+
+
+class CliDriver(unittest.TestCase):
+    def test_exit_codes(self):
+        bad = os.path.join(FIXTURES, "bad_pda200_scan.cpp")
+        good = os.path.join(FIXTURES, "good_clean.cpp")
+        self.assertEqual(pdc_analyze.main(["--no-cache", good]), 0)
+        self.assertEqual(pdc_analyze.main(["--no-cache", bad]), 1)
+
+    def test_repo_src_tree_is_clean(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        self.assertEqual(pdc_analyze.main(["--no-cache", "--mode",
+                                           "ast-lite", src]), 0)
+
+    def test_repo_incore_zones_all_carry_reasons(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        _, report = pdc_analyze.analyze([src], "ast-lite", "build")
+        self.assertGreater(len(report["incore_zones"]), 0)
+        for zone in report["incore_zones"]:
+            self.assertTrue(zone["reason"], f"bare zone: {zone}")
+        for wrapper in report["io_wrappers"]:
+            self.assertTrue(wrapper["reason"], f"bare wrapper: {wrapper}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -4,8 +4,10 @@
 fixture of near-misses.  Run from anywhere: paths resolve via REPO_ROOT.
 """
 
+import json
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -120,6 +122,40 @@ class Pdc004Allowlist(unittest.TestCase):
     def test_raw_thread_flagged_elsewhere_in_src(self):
         findings = lint_fixture("bad_raw_thread.cpp")
         self.assertEqual({f.rule for f in findings}, {"PDC004"})
+
+
+class SarifOutput(unittest.TestCase):
+    def test_sarif_results_match_findings(self):
+        bad = os.path.join(FIXTURES, "bad_stdout.cpp")
+        expected = annotated_lines("bad_stdout.cpp", "PDC005")
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "lint.sarif")
+            rc = pdc_lint.main(["--assume-src", "--sarif", out, bad])
+            self.assertEqual(rc, 1)
+            with open(out, encoding="utf-8") as f:
+                doc = json.load(f)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "pdc-lint")
+        results = run["results"]
+        self.assertEqual({r["ruleId"] for r in results}, {"PDC005"})
+        lines = [r["locations"][0]["physicalLocation"]["region"]
+                 ["startLine"] for r in results]
+        self.assertEqual(sorted(lines), expected)
+        # ruleIndex must point at the matching rules[] entry.
+        rules = run["tool"]["driver"]["rules"]
+        for r in results:
+            self.assertEqual(rules[r["ruleIndex"]]["id"], r["ruleId"])
+
+    def test_clean_run_writes_empty_results(self):
+        good = os.path.join(FIXTURES, "good_clean.cpp")
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "lint.sarif")
+            rc = pdc_lint.main(["--assume-src", "--sarif", out, good])
+            self.assertEqual(rc, 0)
+            with open(out, encoding="utf-8") as f:
+                doc = json.load(f)
+        self.assertEqual(doc["runs"][0]["results"], [])
 
 
 class CliDriver(unittest.TestCase):

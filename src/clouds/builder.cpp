@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/mem_gauge.hpp"
+
 namespace pdc::clouds {
 
 namespace {
@@ -146,6 +148,11 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
                                               std::vector<data::Record> sample,
                                               const io::MemoryBudget& budget) {
   stats_ = BuildStats{};
+  // The pre-drawn sample is the build's one dataset-independent resident
+  // buffer: charge it for the whole run (children inherit slices of it, so
+  // the root size is the bound).
+  obs::MemCharge sample_mem(hooks_.mem,
+                            sample.size() * sizeof(data::Record));
   const std::uint64_t root_records = disk.file_records<data::Record>(file);
   const std::size_t block =
       budget.block_records(sizeof(data::Record), /*streams=*/3);
@@ -187,7 +194,10 @@ DecisionTree CloudsBuilder::build_out_of_core(io::LocalDisk& disk,
     }
 
     if (budget.fits(n, sizeof(data::Record))) {
-      // Small node: load and finish the whole subtree in memory.
+      // Small node: load and finish the whole subtree in memory.  The
+      // buffer is budget-bounded by the fits() guard; charge it while it
+      // lives.
+      obs::MemCharge load_mem(hooks_.mem, n * sizeof(data::Record));
       InCoreTask mem;
       mem.node = t.node;
       mem.data = disk.read_file<data::Record>(t.file);

@@ -13,6 +13,7 @@
 
 #include "mp/clock.hpp"
 #include "mp/machine.hpp"
+#include "obs/mem_gauge.hpp"
 #include "obs/trace.hpp"
 
 namespace pdc::clouds {
@@ -23,6 +24,10 @@ struct CostHooks {
   /// Optional per-rank trace handle (null/no-op by default): the kernels
   /// open spans on the modeled timeline through it.
   obs::RankTracer tracer{};
+  /// Optional resident-bytes gauge: the annotated in-core zones charge the
+  /// bytes they hold so a sizeup run can check the out-of-core contract at
+  /// runtime (the static analyzer's PDA200 proves it at compile time).
+  obs::MemGauge* mem = nullptr;
 
   /// Opens a span on the modeled timeline (no-op with a null tracer).
   obs::SpanGuard span(std::string_view name, std::string_view cat,
@@ -59,6 +64,16 @@ struct CostHooks {
     if (clock) {
       clock->add_compute(machine.cpu_byte_op * static_cast<double>(bytes));
     }
+  }
+
+  /// Resident bytes entering an annotated in-core zone (no-op without a
+  /// gauge).  Pair with release_mem, or hold an obs::MemCharge.
+  void charge_mem(std::size_t bytes) const {
+    if (mem) mem->charge(bytes);
+  }
+
+  void release_mem(std::size_t bytes) const {
+    if (mem) mem->release(bytes);
   }
 };
 

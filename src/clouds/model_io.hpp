@@ -27,6 +27,7 @@ struct TreeHeader {
 
 inline void save_tree(const DecisionTree& tree,
                       const std::filesystem::path& path) {
+  // pdc: io-wrapper(model persistence at the run boundary, outside the modeled timeline)
   const auto nodes = tree.serialize();
   detail::TreeHeader header;
   header.node_count = nodes.size();
@@ -42,6 +43,7 @@ inline void save_tree(const DecisionTree& tree,
 }
 
 inline DecisionTree load_tree(const std::filesystem::path& path) {
+  // pdc: io-wrapper(model persistence at the run boundary, outside the modeled timeline)
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) throw std::runtime_error("load_tree: cannot open " + path.string());
   detail::TreeHeader header;

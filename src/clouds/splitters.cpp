@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "clouds/estimate.hpp"
+#include "obs/mem_gauge.hpp"
 
 namespace pdc::clouds {
 
@@ -170,13 +171,16 @@ SplitCandidate sse_split(const NodeStats& stats, RecordSource& source,
   if (!alive.empty()) {
     auto sp = hooks.span("alive-evaluation", "clouds", alive.size());
     // Second pass: harvest the points that fall inside alive intervals.
+    obs::MemCharge harvest_mem(hooks.mem, 0);
     std::vector<std::vector<AlivePoint>> buckets(alive.size());
     source.scan([&](const data::Record& r) {
       for (std::size_t k = 0; k < alive.size(); ++k) {
         const float v =
             r.num[static_cast<std::size_t>(alive[k].attr)];
         if (alive[k].contains(v)) {
+          // pdc: incore(alive point harvest: survival-bounded, one bucket per interval, freed after evaluation)
           buckets[k].push_back({v, r.label});
+          harvest_mem.add(sizeof(AlivePoint));
           ++harvested;
         }
       }

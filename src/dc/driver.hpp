@@ -433,6 +433,7 @@ class DcDriver {
       make_scan(child.file, block)([&](const T& rec) {
         const auto dest = static_cast<std::size_t>(
             base + static_cast<int>(k % static_cast<std::uint64_t>(gsize)));
+        // pdc: incore(redistribution staging: holds one local child slice for the subgroup all_to_all exchange)
         outgoing[dest].push_back(rec);
         ++k;
       });

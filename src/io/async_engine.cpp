@@ -43,6 +43,7 @@ void AsyncEngine::run() {
 }
 
 AsyncOutcome AsyncEngine::execute(const AsyncRequest& req) {
+  // pdc: io-wrapper(device-thread work: the issuing rank pays on the modeled clock at LocalDisk::settle_async)
   AsyncOutcome out;
   if (req.poison && req.poison->load(std::memory_order_acquire)) {
     out.status = AsyncStatus::kSkipped;

@@ -1,0 +1,79 @@
+#pragma once
+
+// Per-rank resident-bytes accounting for the out-of-core contract.
+//
+// The static analyzer (scripts/pdc_analyze.py, check PDA200) proves that no
+// scan loop materializes records outside the annotated in-core zones.
+// This gauge is the runtime half of that argument: every annotated
+// zone charges the bytes it holds while they are resident, so a sizeup run
+// can assert that the per-rank high-water mark stays bounded by the sample,
+// histogram and small-node budgets while the dataset grows 10x underneath.
+//
+// The gauge itself is passive arithmetic — it never allocates and never
+// touches the modeled clock — so charging it inside kernels is free of
+// observer effects on either the simulated or the host timeline.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "obs/trace.hpp"
+
+namespace pdc::obs {
+
+/// Tracks currently-resident bytes and the largest value ever reached.
+/// Publishes `mem.highwater_bytes` through the (nullable) RankTracer each
+/// time a new high-water mark is set, so the metric lands in run reports
+/// next to the modeled-clock buckets without extra plumbing.
+class MemGauge {
+ public:
+  MemGauge() = default;
+  explicit MemGauge(RankTracer tracer) : tracer_(tracer) {}
+
+  void charge(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > highwater_) {
+      highwater_ = current_;
+      tracer_.gauge("mem.highwater_bytes",
+                    static_cast<double>(highwater_));
+    }
+  }
+
+  /// Releasing more than is held clamps to zero rather than wrapping: a
+  /// zone that frees a buffer it never charged is a bug we want visible in
+  /// the high-water mark, not an underflow that poisons it.
+  void release(std::size_t bytes) { current_ -= std::min(bytes, current_); }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t highwater_bytes() const { return highwater_; }
+
+ private:
+  RankTracer tracer_{};
+  std::size_t current_ = 0;
+  std::size_t highwater_ = 0;
+};
+
+/// RAII charge for a zone whose buffer lives for a lexical scope (the
+/// small-node load, the alive-point harvest).  `add` grows the charge as
+/// the buffer grows; the destructor releases the full amount.
+class MemCharge {
+ public:
+  MemCharge(MemGauge* gauge, std::size_t bytes) : gauge_(gauge) {
+    add(bytes);
+  }
+  MemCharge(const MemCharge&) = delete;
+  MemCharge& operator=(const MemCharge&) = delete;
+  ~MemCharge() {
+    if (gauge_) gauge_->release(held_);
+  }
+
+  void add(std::size_t more) {
+    held_ += more;
+    if (gauge_) gauge_->charge(more);
+  }
+
+ private:
+  MemGauge* gauge_ = nullptr;
+  std::size_t held_ = 0;
+};
+
+}  // namespace pdc::obs

@@ -125,6 +125,7 @@ std::string RunReport::to_json() const {
 }
 
 void RunReport::write_json(const std::string& path) const {
+  // pdc: io-wrapper(observer export after the modeled run; never on the modeled timeline)
   struct FileCloser {
     void operator()(std::FILE* f) const {
       if (f) std::fclose(f);

@@ -142,6 +142,7 @@ std::string Tracer::chrome_json() const {
 }
 
 void Tracer::write_chrome_json(const std::string& path) const {
+  // pdc: io-wrapper(observer export after the modeled run; never on the modeled timeline)
   struct FileCloser {
     void operator()(std::FILE* f) const {
       if (f) std::fclose(f);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dc/lpt.hpp"
+#include "obs/mem_gauge.hpp"
 #include "pclouds/combiners.hpp"
 
 namespace pdc::pclouds {
@@ -42,14 +43,17 @@ AliveOutcome evaluate_alive_parallel(
   const auto assign = dc::lpt_assign(costs, comm.size());
 
   // Harvest pass: route each local in-interval point to the owner.
+  obs::MemCharge staged_mem(hooks.mem, 0);
   std::vector<std::vector<WirePoint>> outgoing(
       static_cast<std::size_t>(comm.size()));
   scan([&](const data::Record& r) {
     for (std::size_t i = 0; i < alive.size(); ++i) {
       const float v = r.num[static_cast<std::size_t>(alive[i].attr)];
       if (alive[i].contains(v)) {
+        // pdc: incore(alive point routing: survival-bounded, only in-interval points are staged for the exchange)
         outgoing[static_cast<std::size_t>(assign.owner[i])].push_back(
             {v, static_cast<std::int32_t>(i), r.label});
+        staged_mem.add(sizeof(WirePoint));
         ++out.points_shipped;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/mem_gauge.hpp"
 #include "pclouds/problem.hpp"
 
 namespace pdc::pclouds {
@@ -70,8 +71,12 @@ clouds::DecisionTree pclouds_train(mp::Comm& comm, const PcloudsConfig& cfg,
   auto full_sample = comm.all_gather<data::Record>(local_sample);
   sample_span.close();
 
+  // Per-rank resident-bytes gauge: the annotated in-core zones charge it,
+  // so a traced run publishes mem.highwater_bytes next to the clock
+  // buckets.  Passive arithmetic only — model output is unaffected.
+  obs::MemGauge mem_gauge(comm.tracer());
   clouds::CostHooks hooks{&comm.clock(), comm.cost().machine(),
-                          comm.tracer()};
+                          comm.tracer(), &mem_gauge};
   CloudsProblem problem(cfg, root_records, std::move(full_sample), hooks,
                         &disk);
 

@@ -301,6 +301,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
                   : ((best.split.subset >>
                       static_cast<std::uint32_t>(e.value)) &
                      1u) != 0;
+          // pdc: incore(SPRINT winning-list rid set: the algorithm's inherent in-memory structure the paper critiques)
           if (goes_left) my_left_rids.push_back(e.rid);
           local_diag.entries_streamed += 1;
         }

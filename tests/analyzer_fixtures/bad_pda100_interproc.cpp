@@ -1,0 +1,33 @@
+// PDA100 fixture, interprocedural: a call to a function that transitively
+// reaches a collective, made under a tainted branch.
+struct Comm {
+  int rank() const;
+  void barrier();
+};
+
+// Uniquely named helpers so the name-keyed call graph is exact.
+void fixture_sync_point(Comm& comm) { comm.barrier(); }
+
+void fixture_sync_indirect(Comm& comm) { fixture_sync_point(comm); }
+
+void divergent_call(Comm& comm) {
+  if (comm.rank() != 0) {
+    fixture_sync_point(comm);  // expect-PDA100
+  }
+}
+
+void divergent_transitive_call(Comm& comm) {
+  if (comm.rank() != 0) {
+    fixture_sync_indirect(comm);  // expect-PDA100
+  }
+}
+
+// Calling the helper unconditionally is the normal SPMD case.
+void flat_call_is_clean(Comm& comm) { fixture_sync_point(comm); }
+
+// A suppressed site is inventoried, not flagged.
+void suppressed_call(Comm& comm) {
+  if (comm.rank() == 0) {
+    fixture_sync_point(comm);  // pdc-lint: allow(PDA100) -- fixture: single-rank subtree, peers idle by protocol
+  }
+}

@@ -1,5 +1,6 @@
-// Golden-schema tests for the two machine-readable artifacts: the
-// pdc.run_report.v1 JSON document and the Chrome trace_event JSON.
+// Golden-schema tests for the machine-readable artifacts: the
+// pdc.run_report.v1 JSON document, the Chrome trace_event JSON, and the
+// static analyzer's pdc.analysis.v1 report.
 //
 // The goldens (tests/golden/*.golden.json) pin the KEY STRUCTURE, not the
 // values: a document is reduced to a canonical shape string (object keys in
@@ -193,6 +194,33 @@ TEST_F(GoldenSchema, RunReportRoundTripsThroughParse) {
   double hidden = 0.0;
   for (const auto& r : back.ranks) hidden += r.clock.io_hidden_s;
   EXPECT_GT(hidden, 0.0);
+}
+
+// The analyzer's report schema is pinned the same way: run the tool over
+// its own fixtures (stable input set, every check firing) and shape-compare
+// the JSON.  Skips when python3 is not on PATH (the ctest entries that
+// need it are themselves gated on find_package(Python3)).
+TEST(GoldenSchema2, AnalyzerReportKeyStructureMatchesGolden) {
+  if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const fs::path root =
+      fs::path(PDC_GOLDEN_DIR).parent_path().parent_path();
+  const fs::path out =
+      fs::temp_directory_path() / "pdc_analysis_schema.json";
+  const std::string cmd =
+      "python3 " + (root / "scripts" / "pdc_analyze.py").string() +
+      " --no-cache --mode ast-lite --json " + out.string() + " " +
+      (root / "tests" / "analyzer_fixtures").string() +
+      " > /dev/null 2>&1";
+  // Exit 1 is expected: the fixtures exist to trigger findings.
+  const int rc = std::system(cmd.c_str());
+  ASSERT_NE(rc, -1);
+  const std::string json = read_text(out);
+  std::error_code ec;
+  fs::remove(out, ec);
+  ASSERT_FALSE(json.empty()) << "analyzer produced no report";
+  check_against_golden(json, "analysis.golden.json");
 }
 
 TEST(GoldenShape, CollapsesDynamicMapsAndArrays) {

@@ -1,0 +1,141 @@
+// Runtime cross-check of the out-of-core memory contract.
+//
+// The static analyzer (scripts/pdc_analyze.py, check PDA200) proves that no
+// scan loop materializes records outside the annotated `pdc: incore(...)`
+// zones.  Here we charge those zones through obs::MemGauge and assert the
+// claim it implies: the resident high-water mark is the pre-drawn sample,
+// the small-node budget and the survival-bounded alive harvest — a small
+// slice of the dataset, growing far slower than the data itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "data/agrawal.hpp"
+#include "io/scratch.hpp"
+#include "obs/mem_gauge.hpp"
+
+namespace pdc::clouds {
+namespace {
+
+using data::Record;
+
+std::vector<Record> dataset(std::size_t n, std::uint64_t seed) {
+  data::AgrawalGenerator gen({.function = 1, .seed = seed});
+  return gen.make_range(0, n);
+}
+
+// ---- MemGauge mechanics ----
+
+TEST(MemGauge, TracksCurrentAndHighWater) {
+  obs::MemGauge g;
+  g.charge(100);
+  g.charge(50);
+  EXPECT_EQ(g.current_bytes(), 150u);
+  EXPECT_EQ(g.highwater_bytes(), 150u);
+  g.release(120);
+  EXPECT_EQ(g.current_bytes(), 30u);
+  EXPECT_EQ(g.highwater_bytes(), 150u);  // high-water never falls
+  g.charge(60);
+  EXPECT_EQ(g.highwater_bytes(), 150u);  // 90 resident: below the mark
+  g.release(1000);                       // over-release clamps at zero
+  EXPECT_EQ(g.current_bytes(), 0u);
+}
+
+TEST(MemGauge, RaiiChargeReleasesOnScopeExit) {
+  obs::MemGauge g;
+  {
+    obs::MemCharge c(&g, 64);
+    c.add(36);
+    EXPECT_EQ(g.current_bytes(), 100u);
+  }
+  EXPECT_EQ(g.current_bytes(), 0u);
+  EXPECT_EQ(g.highwater_bytes(), 100u);
+}
+
+TEST(MemGauge, NullGaugeIsSafe) {
+  obs::MemCharge c(nullptr, 64);
+  c.add(36);  // must not crash
+  CostHooks hooks;
+  hooks.charge_mem(128);
+  hooks.release_mem(128);
+}
+
+TEST(MemGauge, PublishesHighWaterThroughTracer) {
+  obs::Tracer tracer(1);
+  mp::Clock clock;
+  obs::MemGauge g(tracer.rank(0, &clock));
+  g.charge(4096);
+  g.charge(1024);
+  const auto merged = tracer.merged_metrics();
+  EXPECT_EQ(merged.gauges().at("mem.highwater_bytes").value, 5120.0);
+}
+
+// ---- Sizeup: 10x the data, near-flat resident high-water ----
+
+std::size_t build_highwater(std::size_t n, bool pipeline) {
+  io::ScratchArena arena(
+      "mem_hw_" + std::to_string(n) + (pipeline ? "_p" : "_s"), 1);
+  mp::CostModel cost(mp::Machine::sp2_like());
+  mp::Clock clock;
+  io::LocalDisk disk(arena.rank_dir(0), &cost, &clock);
+
+  auto train = dataset(n, 91);
+  // Fixed-size pre-drawn sample: the sample is a run parameter, not a
+  // function of the dataset, exactly as in the paper's CLOUDS setup.  It
+  // must be large enough for tight interval boundaries, or survival (and
+  // with it the alive-point harvest) balloons.
+  std::vector<Record> sample;
+  const std::size_t stride = train.size() / 500;
+  for (std::size_t i = 0; i < train.size(); i += stride) {
+    sample.push_back(train[i]);
+  }
+  disk.write_file<Record>("train.dat", train);
+
+  obs::MemGauge gauge;
+  CloudsConfig cfg;
+  cfg.q_root = 300;
+  cfg.pipeline.enabled = pipeline;
+  CostHooks hooks;
+  hooks.mem = &gauge;
+  CloudsBuilder builder(cfg, hooks);
+  io::MemoryBudget budget(16 * 1024);
+  (void)builder.build_out_of_core(disk, "train.dat", sample, budget);
+  EXPECT_GT(builder.stats().out_of_core_nodes, 0u)
+      << "budget too large: nothing streamed at n=" << n;
+  EXPECT_GT(gauge.highwater_bytes(), 0u);
+  return gauge.highwater_bytes();
+}
+
+class MemHighwaterSizeup : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MemHighwaterSizeup, TenfoldDataStaysBounded) {
+  const bool pipeline = GetParam();
+  const std::size_t hw_small = build_highwater(2000, pipeline);
+  const std::size_t hw_large = build_highwater(20000, pipeline);
+  // 10x the records must cost far less than 10x the resident bytes: the
+  // sample and small-node budget are fixed, and only the alive harvest
+  // tracks the data (shrunk by the survival ratio).  Measured growth is
+  // ~4.5x; 6x is the regression ceiling.
+  EXPECT_LE(hw_large, 6 * hw_small)
+      << "high-water grew like the dataset: " << hw_small << " -> "
+      << hw_large;
+  // Absolute form of the contract: resident bytes stay a small fraction
+  // of what materializing the node's records would cost (~19% measured,
+  // dominated by the survival-bounded harvest at the root).
+  const std::size_t dataset_bytes = 20000 * sizeof(Record);
+  EXPECT_LE(hw_large, dataset_bytes / 4)
+      << "resident high-water is no longer small next to the dataset";
+}
+
+INSTANTIATE_TEST_SUITE_P(PipelineOnOff, MemHighwaterSizeup,
+                         ::testing::Values(false, true),
+                         [](const auto& param_info) {
+                           return param_info.param ? "pipelined" : "sync";
+                         });
+
+}  // namespace
+}  // namespace pdc::clouds
