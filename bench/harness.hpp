@@ -19,8 +19,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "clouds/metrics.hpp"
@@ -29,6 +33,9 @@
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/span_names.hpp"
+#include "obs/trace.hpp"
 #include "pclouds/pclouds.hpp"
 
 namespace pdc::bench {
@@ -70,6 +77,16 @@ struct ExpResult {
   double max_io = 0.0;
   double io_hidden = 0.0;  ///< I/O overlapped away by the pipeline, all ranks
   double balance = 0.0;
+  double max_idle = 0.0;  ///< slowest single rank's idle total
+  /// Critical-path attribution + headroom (PDC_BENCH_PROFILE only).
+  bool profiled = false;
+  double crit_compute = 0.0;
+  double crit_comm = 0.0;
+  double crit_io = 0.0;
+  double crit_idle = 0.0;
+  double headroom_comm = 1.0;
+  double headroom_io = 1.0;
+  double headroom_balance = 1.0;
   std::uint64_t bytes_read = 0;     ///< real bytes, training only, all ranks
   std::uint64_t bytes_written = 0;
   std::uint64_t io_ops = 0;
@@ -122,6 +139,16 @@ inline io::PipelineConfig bench_pipeline() {
 
 inline void emit_json_row(const ExpParams& params, const ExpResult& r);
 
+/// PDC_BENCH_PROFILE turns critical-path profiling on for every experiment
+/// point: "1" adds the crit_*/headroom_* JSONL columns only; any other
+/// non-empty value is a directory to also write one pdc.profile.v1
+/// artifact per point into.  Profiling is an observer: the trees and the
+/// modeled clocks are byte-identical with it on or off.
+inline const char* bench_profile_env() {
+  const char* env = std::getenv("PDC_BENCH_PROFILE");
+  return env && *env ? env : nullptr;
+}
+
 inline ExpResult run_experiment(const ExpParams& params) {
   io::ScratchArena arena("bench", params.p);
   mp::Runtime rt(params.p, params.machine);
@@ -132,12 +159,17 @@ inline ExpResult run_experiment(const ExpParams& params) {
   data::DatasetPartition part(params.records, params.p);
   data::Sampler sampler(params.sample_rate, 17);
 
+  const char* profile_env = bench_profile_env();
+  std::unique_ptr<obs::Tracer> tracer;
+  if (profile_env) tracer = std::make_unique<obs::Tracer>(params.p);
+
   ExpResult out;
   std::mutex mu;
 
-  const auto report = rt.run([&](mp::Comm& comm) {
+  const auto report = rt.run(
+      [&](mp::Comm& comm) {
     io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
-                       &comm.clock());
+                       &comm.clock(), comm.tracer());
     data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
                                   8192);
     const auto sample =
@@ -147,6 +179,9 @@ inline ExpResult run_experiment(const ExpParams& params) {
     // data distribution is a precondition, not part of the measurement.
     const auto pre_io = disk.stats();
     comm.clock().reset();
+    // Everything before this marker is materialization in the discarded
+    // pre-reset coordinate system; the profiler cuts each track here.
+    comm.tracer().instant(obs::span_names::kClockReset, "marker");
 
     pclouds::PcloudsDiag diag;
     auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat",
@@ -166,7 +201,8 @@ inline ExpResult run_experiment(const ExpParams& params) {
         out.accuracy = tree.accuracy(test);
       }
     }
-  });
+  },
+      tracer.get());
 
   out.parallel_time = report.parallel_time();
   out.max_compute = report.max_compute();
@@ -174,6 +210,33 @@ inline ExpResult run_experiment(const ExpParams& params) {
   out.max_io = report.max_io();
   out.io_hidden = report.total_io_hidden();
   out.balance = report.balance();
+  out.max_idle = report.max_idle();
+  if (tracer) {
+    const obs::Profile profile = obs::build_profile(*tracer, report.clocks);
+    out.profiled = true;
+    out.crit_compute = profile.crit.compute_s;
+    out.crit_comm = profile.crit.comm_s;
+    out.crit_io = profile.crit.io_s;
+    out.crit_idle = profile.crit.idle_s;
+    out.headroom_comm = profile.headroom_comm;
+    out.headroom_io = profile.headroom_io;
+    out.headroom_balance = profile.headroom_balance;
+    if (std::strcmp(profile_env, "1") != 0) {
+      std::string stem = params.label.empty()
+                             ? "p" + std::to_string(params.p)
+                             : params.label;
+      for (char& c : stem) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                          c == '_';
+        if (!keep) c = '_';
+      }
+      std::error_code ec;
+      std::filesystem::create_directories(profile_env, ec);
+      profile.write_json(std::string(profile_env) + "/" + stem +
+                         ".profile.json");
+    }
+  }
   emit_json_row(params, out);
   return out;
 }
@@ -195,6 +258,16 @@ inline void emit_json_row(const ExpParams& params, const ExpResult& r) {
   row += ", \"max_io_s\": " + obs::json_number(r.max_io);
   row += ", \"io_hidden_s\": " + obs::json_number(r.io_hidden);
   row += ", \"balance\": " + obs::json_number(r.balance);
+  row += ", \"max_idle_s\": " + obs::json_number(r.max_idle);
+  if (r.profiled) {
+    row += ", \"crit_compute_s\": " + obs::json_number(r.crit_compute);
+    row += ", \"crit_comm_s\": " + obs::json_number(r.crit_comm);
+    row += ", \"crit_io_s\": " + obs::json_number(r.crit_io);
+    row += ", \"crit_idle_s\": " + obs::json_number(r.crit_idle);
+    row += ", \"headroom_comm\": " + obs::json_number(r.headroom_comm);
+    row += ", \"headroom_io\": " + obs::json_number(r.headroom_io);
+    row += ", \"headroom_balance\": " + obs::json_number(r.headroom_balance);
+  }
   row += ", \"bytes_read\": " + std::to_string(r.bytes_read);
   row += ", \"bytes_written\": " + std::to_string(r.bytes_written);
   row += ", \"io_ops\": " + std::to_string(r.io_ops);

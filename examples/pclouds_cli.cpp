@@ -8,16 +8,19 @@
 //                 [--combiner attr|interval|hybrid|dist]
 //                 [--q N] [--memory BYTES] [--noise F] [--sample F]
 //                 [--save PATH] [--no-prune]
-//                 [--trace PATH] [--report PATH]
+//                 [--trace PATH] [--report PATH] [--profile PATH]
 //                 [--scratch DIR] [--checkpoint-every N] [--resume]
 //                 [--inject SPEC] [--pipeline on|off] [--queue-depth N]
 //
 // --trace writes a Chrome trace_event JSON of the modeled timeline (load in
 // Perfetto / chrome://tracing: one track per rank, spans for every phase and
 // collective).  --report writes a structured JSON run report (per-rank
-// clocks + I/O, tree shape, accuracy, metric aggregates).  Both are
-// observers only: the modeled costs and the tree are bit-identical with or
-// without them.
+// clocks + I/O, tree shape, accuracy, metric aggregates).  --profile writes
+// the critical-path profile (pdc.profile.v1: bottleneck attribution by
+// phase and tree depth plus what-if headroom projections) and prints the
+// bottleneck summary; combined with --trace the critical path is drawn on
+// the trace as a crit.* overlay track.  All three are observers only: the
+// modeled costs and the tree are bit-identical with or without them.
 //
 // Robustness flags: --inject plants deterministic disk/comm faults (grammar
 // in fault/fault.hpp, e.g. "disk_write:rank=1:op=3:times=2"), --scratch
@@ -38,6 +41,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "clouds/metrics.hpp"
 #include "clouds/model_io.hpp"
@@ -47,6 +52,7 @@
 #include "io/scratch.hpp"
 #include "mp/lockstep.hpp"
 #include "mp/runtime.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pclouds/evaluate.hpp"
@@ -71,6 +77,7 @@ struct Options {
   bool prune = true;
   std::string trace_path;
   std::string report_path;
+  std::string profile_path;
   std::string scratch_dir;
   std::uint64_t checkpoint_every = 0;
   bool resume = false;
@@ -100,6 +107,10 @@ void print_usage(std::FILE* to) {
       "  --trace PATH             write Chrome trace JSON of the modeled\n"
       "                           timeline (open in Perfetto)\n"
       "  --report PATH            write structured JSON run report\n"
+      "  --profile PATH           write the critical-path profile\n"
+      "                           (pdc.profile.v1) and print the\n"
+      "                           bottleneck + headroom summary; with\n"
+      "                           --trace the path is overlaid on the trace\n"
       "  --scratch DIR            persistent scratch root (kept across\n"
       "                           runs; required for cross-process resume)\n"
       "  --checkpoint-every N     snapshot driver state every N tasks\n"
@@ -185,7 +196,8 @@ bool parse(int argc, char** argv, Options& opt) {
         arg == "--classifier" || arg == "--method" || arg == "--strategy" ||
         arg == "--combiner" || arg == "--q" || arg == "--memory" ||
         arg == "--noise" || arg == "--sample" || arg == "--save" ||
-        arg == "--trace" || arg == "--report" || arg == "--scratch" ||
+        arg == "--trace" || arg == "--report" || arg == "--profile" ||
+        arg == "--scratch" ||
         arg == "--checkpoint-every" || arg == "--inject" ||
         arg == "--pipeline" || arg == "--queue-depth";
     if (!known) {
@@ -249,6 +261,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.trace_path = val;
     } else if (arg == "--report") {
       opt.report_path = val;
+    } else if (arg == "--profile") {
+      opt.profile_path = val;
     } else if (arg == "--scratch") {
       opt.scratch_dir = val;
     } else if (arg == "--checkpoint-every") {
@@ -343,7 +357,9 @@ int main(int argc, char** argv) {
   }
   mp::Runtime rt(opt.procs);
 
-  const bool observing = !opt.trace_path.empty() || !opt.report_path.empty();
+  const bool observing = !opt.trace_path.empty() ||
+                         !opt.report_path.empty() ||
+                         !opt.profile_path.empty();
   std::unique_ptr<obs::Tracer> tracer;
   if (observing) tracer = std::make_unique<obs::Tracer>(opt.procs);
   // Thread-confined per-rank slots (same discipline as the runtime clocks).
@@ -511,15 +527,30 @@ int main(int argc, char** argv) {
     std::printf("model saved : %s\n", opt.save_path.c_str());
   }
 
-  if (!opt.trace_path.empty()) {
+  std::vector<std::pair<int, obs::TraceEvent>> overlay;
+  if (!opt.profile_path.empty()) {
     try {
-      tracer->write_chrome_json(opt.trace_path);
+      const obs::Profile profile = obs::build_profile(*tracer, report.clocks);
+      profile.write_json(opt.profile_path);
+      if (!opt.trace_path.empty()) overlay = obs::overlay_events(profile);
+      std::printf("profile     : %s\n%s", opt.profile_path.c_str(),
+                  obs::format_profile_summary(profile).c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "pclouds_cli: %s\n", e.what());
       return 1;
     }
-    std::printf("trace       : %s (Chrome trace JSON; open in Perfetto)\n",
-                opt.trace_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    try {
+      tracer->write_chrome_json(opt.trace_path,
+                                overlay.empty() ? nullptr : &overlay);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pclouds_cli: %s\n", e.what());
+      return 1;
+    }
+    std::printf("trace       : %s (Chrome trace JSON; open in Perfetto%s)\n",
+                opt.trace_path.c_str(),
+                overlay.empty() ? "" : "; crit.* spans mark the critical path");
   }
   if (!opt.report_path.empty()) {
     obs::RunReport run;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression guardrail for the async I/O pipeline.
+"""Perf-regression guardrail for the async I/O pipeline and the profiler.
 
 Takes two PDC_BENCH_JSON (JSONL) files from the same suite run with the
 pipeline off (the synchronous oracle) and on, matches experiment points by
@@ -8,14 +8,24 @@ time than its synchronous twin (beyond a small tolerance), or when the
 pipelined run hid no I/O at all (which would mean the overlap machinery
 silently degraded to synchronous).
 
+An optional third file holds rows from a PDC_BENCH_PROFILE run.  For every
+profiled row the critical-path attribution must close: crit_compute_s +
+crit_comm_s + crit_io_s + crit_idle_s == parallel_time_s within 1e-9.  And
+across rows that differ only in p, the zero-communication what-if headroom
+must grow with the processor count (communication is the scaling
+bottleneck, so an infinitely fast network buys strictly more speedup at
+p=16 than at p=2).
+
 Usage:
-    python3 scripts/check_bench.py sync.jsonl pipelined.jsonl
+    python3 scripts/check_bench.py sync.jsonl pipelined.jsonl [profiled.jsonl]
 """
 
 import json
+import re
 import sys
 
 TOLERANCE = 1.001  # allow 0.1% modeled-time noise
+CLOSURE_TOL = 1e-9
 
 
 def load(path):
@@ -32,8 +42,62 @@ def load(path):
     return rows
 
 
+def check_profile(rows, failures):
+    """Closure + comm-headroom-growth checks on PDC_BENCH_PROFILE rows."""
+    profiled = {k: r for k, r in rows.items() if "crit_comm_s" in r}
+    if not profiled:
+        failures.append("profiled file has no crit_* columns — was "
+                        "PDC_BENCH_PROFILE set?")
+        return
+
+    print(f"\n{'label':40s} {'time_s':>10s} {'crit_sum':>10s} "
+          f"{'hr_comm':>8s} {'hr_io':>8s} {'hr_bal':>8s}")
+    for label in sorted(profiled):
+        r = profiled[label]
+        t = r["parallel_time_s"]
+        crit_sum = (r["crit_compute_s"] + r["crit_comm_s"] +
+                    r["crit_io_s"] + r["crit_idle_s"])
+        print(f"{label:40s} {t:10.4f} {crit_sum:10.4f} "
+              f"{r['headroom_comm']:8.3f} {r['headroom_io']:8.3f} "
+              f"{r['headroom_balance']:8.3f}")
+        tol = CLOSURE_TOL * max(1.0, abs(t))
+        if abs(crit_sum - t) > tol:
+            failures.append(
+                f"{label}: attribution does not close: "
+                f"|{crit_sum:.12f} - {t:.12f}| > {tol:g}")
+        # headroom_balance may dip below 1 (equalizing load can hurt a
+        # dependency-bound run); a resource made free cannot.
+        for key in ("headroom_comm", "headroom_io"):
+            if r[key] < 1.0 - 1e-9:
+                failures.append(f"{label}: {key} = {r[key]:.6f} < 1 — a "
+                                "free resource cannot slow the run down")
+
+    # Group rows that differ only in their p=N component and require the
+    # zero-comm headroom to be largest at the largest p.
+    families = {}
+    for label, r in profiled.items():
+        family = re.sub(r"p=\d+", "p=*", label)
+        families.setdefault(family, []).append(r)
+    compared = False
+    for family, rows_of in sorted(families.items()):
+        if len(rows_of) < 2:
+            continue
+        compared = True
+        lo = min(rows_of, key=lambda r: r["p"])
+        hi = max(rows_of, key=lambda r: r["p"])
+        if hi["headroom_comm"] <= lo["headroom_comm"]:
+            failures.append(
+                f"{family}: zero-comm headroom at p={hi['p']} "
+                f"({hi['headroom_comm']:.3f}x) does not beat p={lo['p']} "
+                f"({lo['headroom_comm']:.3f}x) — communication should "
+                "dominate the critical path as p grows")
+    if not compared:
+        failures.append("profiled file has no label family spanning "
+                        "multiple p values — cannot check headroom growth")
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
     sync = load(sys.argv[1])
     pipe = load(sys.argv[2])
@@ -60,12 +124,17 @@ def main() -> int:
         failures.append("pipelined suite hid zero I/O (io_hidden_s == 0 "
                         "everywhere) — overlap is not happening")
 
+    if len(sys.argv) == 4:
+        check_profile(load(sys.argv[3]), failures)
+
     if failures:
         print("\ncheck_bench: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\ncheck_bench: OK — pipelined <= synchronous at every point")
+    print("\ncheck_bench: OK — pipelined <= synchronous at every point"
+          + (", profile closes and comm headroom grows with p"
+             if len(sys.argv) == 4 else ""))
     return 0
 
 

@@ -19,6 +19,10 @@ silently break them:
                               (reports/traces go through src/obs)
   PDC006 real-sleep           no real sleeps; backoff is charged to the
                               modeled clock, never to the wall
+  PDC007 unregistered-span    span/instant names must come from the
+                              registry (src/obs/span_names.hpp); the
+                              critical-path profiler and trace tooling
+                              match spans by exact name
   PDC000 bare-suppression     a pdc-lint suppression must carry a reason
 
 Suppress a finding with a trailing comment carrying a justification:
@@ -96,6 +100,8 @@ RULES = [
          "stdout write from library code", True),
     Rule("PDC006", "real-sleep",
          "real (wall-clock) sleep; charge the modeled clock instead", True),
+    Rule("PDC007", "unregistered-span",
+         "span name literal not in the registry (obs/span_names.hpp)", True),
 ]
 
 # Line-scoped patterns per rule.  The code view has comments and string
@@ -153,6 +159,37 @@ PDC003_RE = re.compile(
     + PDC003_METHODS +
     r"\s*(?:<[^;()]*>)?\s*"                  # optional template args
     r"\([^;{}]*\)\s*;")
+
+# PDC007: span construction whose name is a string literal must use a name
+# registered in src/obs/span_names.hpp — trace consumers (the critical-path
+# profiler, the clock-reset cut, the flamegraph rollups) match spans by
+# exact name, so a typo'd literal silently drops the span from every
+# analysis.  Names passed as constants (span_names::kFoo) are fine by
+# construction and skipped.  The code view blanks string literals, so the
+# call is located there and the literal read from the raw line at the same
+# offset (blanking preserves column positions).
+PDC007_CALL_RE = re.compile(
+    r"(?:\bSpanGuard\s*\(|(?:\.|->)(?:span|instant|complete)\s*\()")
+PDC007_LITERAL_RE = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+SPAN_REGISTRY_PATH = os.path.join(REPO_ROOT, "src", "obs", "span_names.hpp")
+_span_registry_cache = None
+
+
+def span_registry():
+    """The set of registered span name literals (cached)."""
+    global _span_registry_cache
+    if _span_registry_cache is None:
+        names = set()
+        try:
+            with open(SPAN_REGISTRY_PATH, encoding="utf-8") as f:
+                for line in f:
+                    m = re.search(r'=\s*"([^"]+)"\s*;', line)
+                    if m:
+                        names.add(m.group(1))
+        except OSError:
+            pass
+        _span_registry_cache = names
+    return _span_registry_cache
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -296,6 +333,25 @@ def lint_file(path: str, assume_src: bool):
         offset = m.start() + (call.start() if call else 0)
         lineno = code.count("\n", 0, offset) + 1
         add(lineno, "PDC003")
+
+    if (is_src and span_registry()
+            and rel != "src/obs/span_names.hpp"):
+        for lineno, code_line in enumerate(code_lines, start=1):
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            for m in PDC007_CALL_RE.finditer(code_line):
+                lit = PDC007_LITERAL_RE.search(raw, m.end())
+                if not lit:
+                    continue
+                # The name is argument 2 of SpanGuard(tracer, name, ...)
+                # and argument 1 of .span/.instant/.complete(name, ...).
+                # A literal further along is a cat or payload, and a name
+                # passed as a registry constant never reaches here.
+                commas = 1 if "SpanGuard" in m.group(0) else 0
+                if code_line.count(",", m.end(), lit.start()) != commas:
+                    continue
+                if lit.group(1) not in span_registry():
+                    add(lineno, "PDC007")
+                    break
 
     return findings
 

@@ -42,6 +42,7 @@ class PositiveFixtures(unittest.TestCase):
         "bad_raw_thread.cpp": "PDC004",
         "bad_stdout.cpp": "PDC005",
         "bad_sleep.cpp": "PDC006",
+        "bad_span_name.cpp": "PDC007",
     }
 
     def test_annotated_lines_match_findings_exactly(self):

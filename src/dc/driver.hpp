@@ -271,6 +271,7 @@ class DcDriver {
       ++report_.large_tasks;
       auto sp = obs::SpanGuard(comm.tracer(), "large-node", "dc", obs::kNoArg,
                                cur.task.global_n);
+      sp.set_depth(static_cast<std::uint64_t>(cur.task.depth));
       const std::size_t block = budget_.block_records(sizeof(T), 3);
       auto scan = make_scan(cur.file, block);
       const auto local = problem.local_stats(scan, cur.task);

@@ -44,6 +44,13 @@
 
 namespace pdc::mp {
 
+/// The world communicator's stable id (the FNV-1a offset basis, matching
+/// the lockstep site-hash family).  Subgroup ids mix in the parent id,
+/// split generation and color, so every communicator of a run has a
+/// distinct id that is identical across its member ranks — the key the
+/// critical-path profiler uses to align collective spans across tracks.
+inline constexpr std::uint64_t kWorldCommId = 1469598103934665603ull;
+
 class Comm {
  public:
   Comm(int rank, int size, const CostModel* cost,
@@ -51,7 +58,8 @@ class Comm {
        SplitArena* arena = nullptr,
        std::shared_ptr<const std::vector<int>> group = nullptr,
        std::shared_ptr<CollectiveContext> owned_ctx = nullptr,
-       obs::RankTracer tracer = {}, fault::RankFault* fault = nullptr)
+       obs::RankTracer tracer = {}, fault::RankFault* fault = nullptr,
+       std::uint64_t comm_id = kWorldCommId)
       : rank_(rank),
         size_(size),
         cost_(cost),
@@ -62,7 +70,8 @@ class Comm {
         group_(std::move(group)),
         owned_ctx_(std::move(owned_ctx)),
         tracer_(tracer),
-        fault_(fault) {}
+        fault_(fault),
+        comm_id_(comm_id) {}
 
   int rank() const { return rank_; }
   int size() const { return size_; }
@@ -88,6 +97,16 @@ class Comm {
   /// This rank's id in the world communicator (== rank() unless this Comm
   /// came from split()).
   int global_rank() const { return group_ ? (*group_)[static_cast<std::size_t>(rank_)] : rank_; }
+
+  /// This communicator's run-stable id (kWorldCommId for the world;
+  /// derived from (parent, generation, color) for split-off subgroups).
+  /// Identical on every member rank.
+  std::uint64_t comm_id() const { return comm_id_; }
+
+  /// Collectives entered on this communicator so far (restarts at zero on
+  /// split-off subgroups).  (comm_id, collective_seq) names one collective
+  /// instance uniquely across the run.
+  std::uint64_t collective_seq() const { return coll_seq_; }
 
   /// Splits this communicator into subgroups (collective, like
   /// MPI_Comm_split): all ranks with the same `color` form a new
@@ -123,11 +142,13 @@ class Comm {
       throw std::logic_error("Comm::split requires a runtime SplitArena");
     }
     const int group_size = static_cast<int>(members->size());
-    auto sub_ctx =
-        arena_->get_or_create(ctx_, split_generation_++, color, group_size);
+    const std::uint64_t generation = split_generation_++;
+    auto sub_ctx = arena_->get_or_create(ctx_, generation, color, group_size);
     CollectiveContext* sub_ctx_raw = sub_ctx.get();
     Comm sub(my_pos, group_size, cost_, mailboxes_, sub_ctx_raw, clock_,
-             arena_, std::move(members), std::move(sub_ctx), tracer_, fault_);
+             arena_, std::move(members), std::move(sub_ctx), tracer_, fault_,
+             child_comm_id(comm_id_, generation,
+                           static_cast<std::uint64_t>(color)));
     // The subgroup inherits auditing; its collective sequence restarts at
     // zero uniformly across members.
     sub.lockstep_ = lockstep_;
@@ -143,6 +164,9 @@ class Comm {
     msg.src = global_rank();
     msg.tag = tag;
     msg.payload = to_bytes(data);
+    msg.seq = (*mailboxes_)[static_cast<std::size_t>(global_rank())]
+                  .next_send_seq();
+    sp.set_channel(static_cast<std::uint64_t>(to_global(dest)), msg.seq);
     clock_->add_comm(cost_->point_to_point(msg.payload.size()));
     msg.arrival_time = clock_->total();
     (*mailboxes_)[static_cast<std::size_t>(to_global(dest))].put(
@@ -163,6 +187,7 @@ class Comm {
         (*mailboxes_)[static_cast<std::size_t>(global_rank())].take(
             src == kAnySource ? kAnySource : to_global(src), tag);
     sp.set_bytes(msg.payload.size());
+    sp.set_channel(static_cast<std::uint64_t>(msg.src), msg.seq);
     clock_->wait_until(msg.arrival_time);
     clock_->add_comm(cost_->machine().tau);  // receive-side overhead
     if (actual_src) *actual_src = to_local(msg.src);
@@ -184,7 +209,7 @@ class Comm {
 
   void barrier(std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("barrier");
-    sync_publish({}, "barrier", loc);
+    sync_publish({}, "barrier", loc, &sp);
     const double t_max = max_published_time();
     ctx_->read_barrier();
     settle(t_max, cost_->barrier(size_));
@@ -199,7 +224,7 @@ class Comm {
       std::span<const T> mine,
       std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_to_all_broadcast", mine.size_bytes());
-    sync_publish(to_bytes(mine), "all_to_all_broadcast", loc);
+    sync_publish(to_bytes(mine), "all_to_all_broadcast", loc, &sp);
     const double t_max = max_published_time();
     std::size_t m = 0;
     std::vector<std::vector<T>> out(static_cast<std::size_t>(size_));
@@ -235,7 +260,7 @@ class Comm {
       int root, std::span<const T> mine,
       std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("gather", mine.size_bytes());
-    sync_publish(to_bytes(mine), "gather", loc);
+    sync_publish(to_bytes(mine), "gather", loc, &sp);
     const double t_max = max_published_time();
     std::size_t m = 0;
     for (int r = 0; r < size_; ++r) m = std::max(m, ctx_->slot(r).size());
@@ -260,7 +285,7 @@ class Comm {
     auto sp = prim_span("broadcast",
                         rank_ == root ? mine.size_bytes() : std::size_t{0});
     sync_publish(rank_ == root ? to_bytes(mine) : std::vector<std::byte>{},
-                 "broadcast", loc);
+                 "broadcast", loc, &sp);
     const double t_max = max_published_time();
     const auto& s = ctx_->slot(root);
     const std::size_t m = s.size();
@@ -284,7 +309,7 @@ class Comm {
   T all_reduce(const T& value, Op op = Op{},
                std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_reduce", sizeof(T));
-    sync_publish(to_bytes(value), "all_reduce", loc);
+    sync_publish(to_bytes(value), "all_reduce", loc, &sp);
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r < size_; ++r) {
@@ -302,7 +327,7 @@ class Comm {
       std::span<const T> mine, Op op = Op{},
       std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("all_reduce_vec", mine.size_bytes());
-    sync_publish(to_bytes(mine), "all_reduce_vec", loc);
+    sync_publish(to_bytes(mine), "all_reduce_vec", loc, &sp);
     const double t_max = max_published_time();
     std::vector<T> acc = from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r < size_; ++r) {
@@ -322,7 +347,7 @@ class Comm {
   T prefix_sum(const T& value, Op op = Op{},
                std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("prefix_sum", sizeof(T));
-    sync_publish(to_bytes(value), "prefix_sum", loc);
+    sync_publish(to_bytes(value), "prefix_sum", loc, &sp);
     const double t_max = max_published_time();
     T acc = value_from_bytes<T>(ctx_->slot(0));
     for (int r = 1; r <= rank_; ++r) {
@@ -342,7 +367,7 @@ class Comm {
       const T& value, Less less = Less{},
       std::source_location loc = std::source_location::current()) {
     auto sp = prim_span("min_loc", sizeof(T));
-    sync_publish(to_bytes(value), "min_loc", loc);
+    sync_publish(to_bytes(value), "min_loc", loc, &sp);
     const double t_max = max_published_time();
     T best = value_from_bytes<T>(ctx_->slot(0));
     int best_rank = 0;
@@ -382,7 +407,7 @@ class Comm {
                    std::span<const T>(outgoing[static_cast<std::size_t>(d)]));
     }
     sp.set_bytes(frame.size());
-    sync_publish(std::move(frame), "all_to_all", loc);
+    sync_publish(std::move(frame), "all_to_all", loc, &sp);
     const double t_max = max_published_time();
 
     std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size_));
@@ -438,6 +463,24 @@ class Comm {
     return obs::SpanGuard(tracer_, prim, "comm", bytes);
   }
 
+  /// Derives a subgroup communicator id: FNV-1a over the parent id, the
+  /// parent's split generation and the color.  Members compute identical
+  /// ids because split() is collective (every member sees the same
+  /// generation count on the parent).
+  static std::uint64_t child_comm_id(std::uint64_t parent, std::uint64_t gen,
+                                     std::uint64_t color) {
+    std::uint64_t h = parent;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(gen);
+    mix(color);
+    return h;
+  }
+
   int to_global(int r) const {
     return group_ ? (*group_)[static_cast<std::size_t>(r)] : r;
   }
@@ -458,17 +501,22 @@ class Comm {
   }
 
   void sync_publish(std::vector<std::byte> payload, std::string_view prim,
-                    const std::source_location& loc) {
+                    const std::source_location& loc,
+                    obs::SpanGuard* sp = nullptr) {
+    if (sp && tracer_.enabled()) {
+      // Stamp the span with this collective's cross-rank identity so the
+      // profiler can align it with the other members' spans offline.
+      sp->set_sync(lockstep_site_hash(loc.file_name(), loc.line(), prim),
+                   comm_id_, coll_seq_);
+    }
     if (lockstep_) {
-      ctx_->audit_slot(rank_) = make_lockstep_record(prim, lockstep_seq_, loc);
+      ctx_->audit_slot(rank_) = make_lockstep_record(prim, coll_seq_, loc);
     }
     ctx_->time_slot(rank_) = clock_->total();
     ctx_->slot(rank_) = std::move(payload);
     ctx_->publish_barrier();
-    if (lockstep_) {
-      ++lockstep_seq_;
-      check_lockstep();
-    }
+    ++coll_seq_;
+    if (lockstep_) check_lockstep();
   }
 
   /// Cross-checks every rank's lockstep claim after the publish barrier,
@@ -528,14 +576,17 @@ class Comm {
   std::shared_ptr<CollectiveContext> owned_ctx_;
   /// Advances on every split() so repeated splits get fresh contexts.
   std::uint64_t split_generation_ = 0;
-  /// Lockstep auditing: enabled flag and this rank's collective count on
-  /// this communicator (subgroup comms restart at zero).
+  /// Lockstep auditing flag, and this rank's collective count on this
+  /// communicator (subgroup comms restart at zero).  The count always
+  /// advances — the lockstep auditor and the trace sync stamps share it.
   bool lockstep_ = false;
-  std::uint64_t lockstep_seq_ = 0;
+  std::uint64_t coll_seq_ = 0;
   /// Per-rank trace handle; disabled (no-op) by default.
   obs::RankTracer tracer_;
   /// Per-rank fault injector; null (no-op) by default.
   fault::RankFault* fault_ = nullptr;
+  /// Run-stable communicator id (see comm_id()).
+  std::uint64_t comm_id_ = kWorldCommId;
 };
 
 }  // namespace pdc::mp

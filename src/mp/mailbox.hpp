@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -33,6 +34,11 @@ struct Message {
   int tag = 0;
   std::vector<std::byte> payload;
   double arrival_time = 0.0;  ///< modeled time at which the message lands
+  /// Sender-channel sequence number: position in the sender's total send
+  /// order (all destinations).  (src, seq) is unique per run, which lets
+  /// the critical-path profiler match a recv span back to the exact send
+  /// span that produced its message.
+  std::uint64_t seq = 0;
 };
 
 class Mailbox {
@@ -92,6 +98,15 @@ class Mailbox {
     std::lock_guard lock(mu_);
     aborted_ = false;
     queue_.clear();
+    send_seq_ = 0;
+  }
+
+  /// Next sequence number on this rank's send channel.  Only the owning
+  /// rank thread calls this (on its *own* mailbox, before depositing into
+  /// the destination's), so the per-sender order is deterministic.
+  std::uint64_t next_send_seq() {
+    std::lock_guard lock(mu_);
+    return send_seq_++;
   }
 
  private:
@@ -99,6 +114,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool aborted_ = false;
+  std::uint64_t send_seq_ = 0;
 };
 
 }  // namespace pdc::mp

@@ -33,6 +33,12 @@ double SpmdReport::max_io() const {
   return t;
 }
 
+double SpmdReport::max_idle() const {
+  double t = 0.0;
+  for (const auto& c : clocks) t = std::max(t, c.idle_s);
+  return t;
+}
+
 double SpmdReport::total_idle() const {
   double t = 0.0;
   for (const auto& c : clocks) t += c.idle_s;

@@ -49,6 +49,11 @@ void RankTracer::do_complete(std::string_view name, std::string_view cat,
   tracer_->track(rank_).events.push_back(std::move(ev));
 }
 
+void RankTracer::do_complete_event(TraceEvent ev) const {
+  ev.kind = TraceEvent::Kind::kComplete;
+  tracer_->track(rank_).events.push_back(std::move(ev));
+}
+
 void RankTracer::do_instant(std::string_view name, std::string_view cat) const {
   TraceEvent ev;
   ev.kind = TraceEvent::Kind::kInstant;
@@ -92,17 +97,34 @@ void append_event_json(std::string& out, const TraceEvent& ev, int rank) {
       out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
              json_escape(ev.cat) + "\",\"ph\":\"X\"," + common +
              ",\"dur\":" + trace_us(ev.end_s - ev.begin_s);
-      if (ev.bytes != kNoArg || ev.n != kNoArg) {
+      const bool any_arg = ev.bytes != kNoArg || ev.n != kNoArg ||
+                           ev.site != kNoArg || ev.comm != kNoArg ||
+                           ev.seq != kNoArg || ev.peer != kNoArg ||
+                           ev.depth != kNoArg;
+      if (any_arg) {
         out += ",\"args\":{";
         bool first = true;
-        if (ev.bytes != kNoArg) {
-          out += "\"bytes\":" + std::to_string(ev.bytes);
-          first = false;
-        }
-        if (ev.n != kNoArg) {
+        const auto arg = [&](const char* key, std::uint64_t v) {
+          if (v == kNoArg) return;
           if (!first) out += ",";
-          out += "\"n\":" + std::to_string(ev.n);
+          first = false;
+          out += std::string("\"") + key + "\":" + std::to_string(v);
+        };
+        arg("bytes", ev.bytes);
+        arg("n", ev.n);
+        if (ev.site != kNoArg) {
+          // Site hashes render as hex to match the lockstep reports.
+          char hex[17];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(ev.site));
+          if (!first) out += ",";
+          first = false;
+          out += std::string("\"site\":\"") + hex + "\"";
         }
+        arg("comm", ev.comm);
+        arg("seq", ev.seq);
+        arg("peer", ev.peer);
+        arg("depth", ev.depth);
         out += "}";
       }
       out += "}";
@@ -122,7 +144,8 @@ void append_event_json(std::string& out, const TraceEvent& ev, int rank) {
 
 }  // namespace
 
-std::string Tracer::chrome_json() const {
+std::string Tracer::chrome_json(
+    const std::vector<std::pair<int, TraceEvent>>* extra) const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (int r = 0; r < nranks(); ++r) {
@@ -136,12 +159,21 @@ std::string Tracer::chrome_json() const {
       out += ",\n";
       append_event_json(out, ev, r);
     }
+    if (extra) {
+      for (const auto& [rank, ev] : *extra) {
+        if (rank != r) continue;
+        out += ",\n";
+        append_event_json(out, ev, r);
+      }
+    }
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 
-void Tracer::write_chrome_json(const std::string& path) const {
+void Tracer::write_chrome_json(
+    const std::string& path,
+    const std::vector<std::pair<int, TraceEvent>>* extra) const {
   // pdc: io-wrapper(observer export after the modeled run; never on the modeled timeline)
   struct FileCloser {
     void operator()(std::FILE* f) const {
@@ -150,7 +182,7 @@ void Tracer::write_chrome_json(const std::string& path) const {
   };
   std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
   if (!f) throw std::runtime_error("Tracer: cannot create " + path);
-  const std::string doc = chrome_json();
+  const std::string doc = chrome_json(extra);
   if (std::fwrite(doc.data(), 1, doc.size(), f.get()) != doc.size()) {
     throw std::runtime_error("Tracer: short write to " + path);
   }

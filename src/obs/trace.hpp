@@ -48,6 +48,18 @@ struct TraceEvent {
   std::uint64_t bytes = kNoArg;  ///< optional "bytes" arg
   std::uint64_t n = kNoArg;      ///< optional "n" arg (records, tasks, ...)
   double value = 0.0;            ///< kCounter only
+
+  // Synchronization identity (obs/critpath.hpp): collectives carry the
+  // lockstep site hash, their communicator id and per-communicator
+  // sequence number; p2p spans carry the peer's world rank and the
+  // sender-channel sequence number.  Grouping spans across tracks by
+  // (comm, seq) — or matching send/recv pairs by (peer, seq) — recovers
+  // every cross-rank dependency edge of the run offline.
+  std::uint64_t site = kNoArg;  ///< collective call-site hash
+  std::uint64_t comm = kNoArg;  ///< communicator id (collectives)
+  std::uint64_t seq = kNoArg;   ///< collective / sender-channel sequence
+  std::uint64_t peer = kNoArg;  ///< other endpoint's world rank (p2p)
+  std::uint64_t depth = kNoArg; ///< tree depth of the enclosing task
 };
 
 class Tracer;
@@ -70,6 +82,12 @@ class RankTracer {
                 double end_s, std::uint64_t bytes = kNoArg,
                 std::uint64_t n = kNoArg) const {
     if (tracer_) do_complete(name, cat, begin_s, end_s, bytes, n);
+  }
+
+  /// Records a fully-populated complete event (kind is forced).  Used by
+  /// SpanGuard so spans can carry the synchronization-identity args.
+  void complete_event(TraceEvent ev) const {
+    if (tracer_) do_complete_event(std::move(ev));
   }
 
   /// Records a zero-duration marker at now().
@@ -96,6 +114,7 @@ class RankTracer {
  private:
   void do_complete(std::string_view name, std::string_view cat, double begin_s,
                    double end_s, std::uint64_t bytes, std::uint64_t n) const;
+  void do_complete_event(TraceEvent ev) const;
   void do_instant(std::string_view name, std::string_view cat) const;
   void do_counter(std::string_view name, double value) const;
   void do_count(std::string_view name, std::uint64_t delta) const;
@@ -118,11 +137,11 @@ class SpanGuard {
       : tracer_(tracer) {
     if (tracer_.enabled()) {
       live_ = true;
-      name_ = name;
-      cat_ = cat;
-      bytes_ = bytes;
-      n_ = n;
-      begin_ = tracer_.now();
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.bytes = bytes;
+      ev_.n = n;
+      ev_.begin_s = tracer_.now();
     }
   }
 
@@ -134,11 +153,7 @@ class SpanGuard {
       close();
       tracer_ = o.tracer_;
       live_ = std::exchange(o.live_, false);
-      name_ = std::move(o.name_);
-      cat_ = std::move(o.cat_);
-      bytes_ = o.bytes_;
-      n_ = o.n_;
-      begin_ = o.begin_;
+      ev_ = std::move(o.ev_);
     }
     return *this;
   }
@@ -147,24 +162,38 @@ class SpanGuard {
 
   /// Attach args discovered mid-span (e.g. bytes known only after
   /// serialization).
-  void set_bytes(std::uint64_t bytes) { bytes_ = bytes; }
-  void set_n(std::uint64_t n) { n_ = n; }
+  void set_bytes(std::uint64_t bytes) { ev_.bytes = bytes; }
+  void set_n(std::uint64_t n) { ev_.n = n; }
+  void set_depth(std::uint64_t depth) { ev_.depth = depth; }
+
+  /// Stamp the synchronization identity of a collective span (lockstep
+  /// site hash, communicator id, per-communicator sequence number) so
+  /// obs/critpath.hpp can align the same collective across rank tracks.
+  void set_sync(std::uint64_t site, std::uint64_t comm, std::uint64_t seq) {
+    ev_.site = site;
+    ev_.comm = comm;
+    ev_.seq = seq;
+  }
+
+  /// Stamp the endpoint identity of a p2p span (peer's world rank plus
+  /// the sender-channel sequence number that matches send to recv).
+  void set_channel(std::uint64_t peer, std::uint64_t seq) {
+    ev_.peer = peer;
+    ev_.seq = seq;
+  }
 
   void close() {
     if (live_) {
       live_ = false;
-      tracer_.complete(name_, cat_, begin_, tracer_.now(), bytes_, n_);
+      ev_.end_s = tracer_.now();
+      tracer_.complete_event(std::move(ev_));
     }
   }
 
  private:
   RankTracer tracer_;
   bool live_ = false;
-  std::string name_;
-  std::string cat_;
-  std::uint64_t bytes_ = kNoArg;
-  std::uint64_t n_ = kNoArg;
-  double begin_ = 0.0;
+  TraceEvent ev_;
 };
 
 /// Whole-run collector: one track of events + one metrics registry per
@@ -190,8 +219,14 @@ class Tracer {
 
   /// Chrome trace_event JSON: {"traceEvents":[...]} with one thread
   /// (tid = rank) per track and a thread_name metadata event per rank.
-  std::string chrome_json() const;
-  void write_chrome_json(const std::string& path) const;
+  /// `extra` merges additional per-rank events into the document (the
+  /// critical-path overlay from obs/profile.hpp); the recorded tracks are
+  /// never mutated.
+  std::string chrome_json(
+      const std::vector<std::pair<int, TraceEvent>>* extra = nullptr) const;
+  void write_chrome_json(
+      const std::string& path,
+      const std::vector<std::pair<int, TraceEvent>>* extra = nullptr) const;
 
  private:
   friend class RankTracer;

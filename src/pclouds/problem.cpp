@@ -98,6 +98,7 @@ std::int32_t CloudsProblem::tree_node_of(std::int64_t task_id) const {
 std::vector<std::byte> CloudsProblem::local_stats(const Scan& scan,
                                                   const dc::Task& task) {
   auto sp = hooks_.span("histogram-build", "pclouds", task.global_n);
+  sp.set_depth(static_cast<std::uint64_t>(task.depth));
   TaskCtx& ctx = ctx_of(task);
 
   if (sketch_mode()) {
@@ -340,6 +341,7 @@ void CloudsProblem::on_leaf(mp::Comm&, const dc::Task& task) {
 void CloudsProblem::solve_sequential(const dc::Task& task,
                                      std::vector<Record> data) {
   auto sp = hooks_.span("solve-sequential", "pclouds", data.size());
+  sp.set_depth(static_cast<std::uint64_t>(task.depth));
   clouds::CloudsConfig scfg = cfg_.clouds;
   scfg.max_depth = std::max(0, cfg_.clouds.max_depth - task.depth);
 

@@ -205,6 +205,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
 
     auto eval_span =
         hooks_.span("split-eval", "sprint", data::total(w.counts));
+    eval_span.set_depth(static_cast<std::uint64_t>(w.depth));
     // Class counts strictly before each portion: one prefix sum.
     const PortionCounts inclusive =
         comm.prefix_sum<PortionCounts>(w.portion, std::plus<>{});
@@ -283,6 +284,7 @@ clouds::DecisionTree SprintBuilder::train(mp::Comm& comm, io::LocalDisk& disk,
     // ---- Partitioning.
     auto part_span =
         hooks_.span("partition-pass", "sprint", data::total(w.counts));
+    part_span.set_depth(static_cast<std::uint64_t>(w.depth));
     // Pass 1: the winning attribute's list decides each rid's side.
     std::vector<std::uint32_t> my_left_rids;
     {

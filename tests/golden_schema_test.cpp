@@ -26,6 +26,7 @@
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pclouds/pclouds.hpp"
@@ -41,7 +42,7 @@ namespace fs = std::filesystem;
 
 bool dynamic_key_map(const std::string& key) {
   return key == "counters" || key == "gauges" || key == "histograms" ||
-         key == "args";
+         key == "args" || key == "by_phase" || key == "by_depth";
 }
 
 std::string shape_of(const obs::Json& j, bool collapse_keys = false) {
@@ -90,6 +91,8 @@ std::string read_text(const fs::path& p) {
 struct Artifacts {
   std::string report_json;
   std::string trace_json;
+  std::string profile_json;
+  std::string trace_overlay_json;
 };
 
 Artifacts generate() {
@@ -143,6 +146,10 @@ Artifacts generate() {
   Artifacts out;
   out.report_json = run.to_json();
   out.trace_json = tracer.chrome_json();
+  const obs::Profile profile = obs::build_profile(tracer, report.clocks);
+  out.profile_json = profile.to_json();
+  const auto overlay = obs::overlay_events(profile);
+  out.trace_overlay_json = tracer.chrome_json(&overlay);
   return out;
 }
 
@@ -185,6 +192,15 @@ TEST_F(GoldenSchema, RunReportKeyStructureMatchesGolden) {
 
 TEST_F(GoldenSchema, ChromeTraceKeyStructureMatchesGolden) {
   check_against_golden(artifacts_->trace_json, "trace.golden.json");
+}
+
+TEST_F(GoldenSchema, ProfileKeyStructureMatchesGolden) {
+  check_against_golden(artifacts_->profile_json, "profile.golden.json");
+}
+
+TEST_F(GoldenSchema, TraceOverlayKeyStructureMatchesGolden) {
+  check_against_golden(artifacts_->trace_overlay_json,
+                       "trace_overlay.golden.json");
 }
 
 TEST_F(GoldenSchema, RunReportRoundTripsThroughParse) {

@@ -1,0 +1,45 @@
+// pdc-lint fixture: every flagged line below must trip PDC007.
+//
+// Span names are matched by exact string by the critical-path profiler and
+// the trace tooling, so literals at construction sites must come from the
+// registry (src/obs/span_names.hpp).  Registered literals and names passed
+// as constants are fine; typos and ad-hoc names are findings.
+
+#include <string_view>
+
+struct FakeTracer {
+  void instant(std::string_view, std::string_view) {}
+  void complete(std::string_view, std::string_view, double, double) {}
+};
+
+struct FakeGuard {
+  FakeGuard(FakeTracer, std::string_view, std::string_view) {}
+};
+using SpanGuard = FakeGuard;
+
+struct FakeHooks {
+  FakeGuard span(std::string_view, std::string_view) {
+    return {FakeTracer{}, "", ""};
+  }
+};
+
+namespace span_names {
+inline constexpr std::string_view kPartitionPass = "partition-pass";
+}
+
+void fixture_spans(FakeTracer t, FakeHooks h) {
+  auto a = SpanGuard(t, "partition-pass", "phase");  // registered: ok
+  auto b = SpanGuard(t, "partiton-pass", "phase");   // PDC007
+  auto c = SpanGuard(t, span_names::kPartitionPass, "phase");  // constant: ok
+  auto d = h.span("histogram-build", "phase");  // registered: ok
+  auto e = h.span("my-adhoc-phase", "phase");   // PDC007
+  t.instant("clock-reset", "marker");           // registered: ok
+  t.instant("clock reset", "marker");           // PDC007
+  t.complete("split-eval", "phase", 0.0, 1.0);  // registered: ok
+  t.complete("split-evall", "phase", 0.0, 1.0);  // PDC007
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+}
