@@ -5,8 +5,17 @@
 // 1 MB per 6M tuples, interval threshold 10).  At bench scale (1/60):
 // 60k-120k records, q_root = 200.  Expected shape (paper): speedup
 // improves with data size and stays near-linear for the largest set.
+//
+// The extension sweep takes the largest set past the paper's machine, to
+// p = 32/64/128, with the replication combiner against the voting
+// combiner (k = 2).  Replication's stats all-to-all pays O(m·p) per large
+// node, which is what flattens speedup at p = 16; voting exchanges only
+// the 2k voted attributes' histograms, so its comm share must stay
+// strictly below replication's at p >= 32 (scripts/check_bench.py
+// --voting asserts this over the emitted rows).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.hpp"
@@ -42,5 +51,43 @@ int main() {
     std::printf("\n");
   }
   std::printf("\n(each cell: modeled runtime, speedup vs p=1)\n");
+
+  // --- extension: past the paper's 16 nodes, replication vs voting ----
+  const std::uint64_t big = sizes[3];
+  struct Comb {
+    const char* name;
+    pdc::pclouds::CombineMethod method;
+  };
+  const Comb combs[] = {
+      {"repl", pdc::pclouds::CombineMethod::kReplicationAttribute},
+      {"voting", pdc::pclouds::CombineMethod::kVoting},
+  };
+  const int big_procs[] = {16, 32, 64, 128};
+
+  std::printf("\nFigure 1 extension: %llu records, p=16..128, "
+              "replication vs voting (k=2)\n",
+              static_cast<unsigned long long>(big));
+  std::printf("%8s |", "combiner");
+  for (int p : big_procs) std::printf("       p=%-3d      |", p);
+  std::printf("\n");
+
+  for (const auto& comb : combs) {
+    std::printf("%8s |", comb.name);
+    for (const int p : big_procs) {
+      ExpParams params;
+      params.p = p;
+      params.records = big;
+      params.cfg = paper_config(big);
+      params.cfg.combiner = comb.method;
+      params.label = std::string("fig1/scale/comb=") + comb.name +
+                     "/n=" + std::to_string(big) + "/p=" + std::to_string(p);
+      const auto r = run_experiment(params);
+      std::printf(" %6.2fs comm=%4.2f |", r.parallel_time, r.max_comm);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(expected: replication's comm share grows ~linearly in p "
+              "and flattens speedup;\n voting stays sublinear and keeps "
+              "scaling through p=128)\n");
   return 0;
 }

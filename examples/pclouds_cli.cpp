@@ -5,7 +5,8 @@
 //   ./pclouds_cli [--procs N] [--records N] [--function 1..10]
 //                 [--classifier pclouds|sprint] [--method ss|sse]
 //                 [--strategy data|concat|task|groups|mixed]
-//                 [--combiner attr|interval|hybrid|dist]
+//                 [--combiner attr|interval|hybrid|dist|voting]
+//                 [--vote-k K] [--hist-bits N]
 //                 [--q N] [--memory BYTES] [--noise F] [--sample F]
 //                 [--save PATH] [--no-prune]
 //                 [--trace PATH] [--report PATH] [--profile PATH]
@@ -69,6 +70,8 @@ struct Options {
   std::string method = "sse";
   std::string strategy = "mixed";
   std::string combiner = "attr";
+  int vote_k = 2;
+  int hist_bits = 0;
   int q = 1000;
   std::size_t memory = 0;  // 0: paper-scaled
   double noise = 0.0;
@@ -97,7 +100,11 @@ void print_usage(std::FILE* to) {
       "  --classifier pclouds|sprint\n"
       "  --method ss|sse          large-node splitter (default sse)\n"
       "  --strategy data|concat|task|groups|mixed\n"
-      "  --combiner attr|interval|hybrid|dist\n"
+      "  --combiner attr|interval|hybrid|dist|voting\n"
+      "  --vote-k K               voting: attributes each rank nominates\n"
+      "                           (default 2; 2K >= 9 is exact)\n"
+      "  --hist-bits N            voting: quantize exchanged counts to N\n"
+      "                           significant bits (default 0 = exact)\n"
       "  --q N                    root interval count (default 1000)\n"
       "  --memory BYTES           per-rank memory (default: paper-scaled)\n"
       "  --noise F                label noise fraction\n"
@@ -194,7 +201,8 @@ bool parse(int argc, char** argv, Options& opt) {
     const bool known =
         arg == "--procs" || arg == "--records" || arg == "--function" ||
         arg == "--classifier" || arg == "--method" || arg == "--strategy" ||
-        arg == "--combiner" || arg == "--q" || arg == "--memory" ||
+        arg == "--combiner" || arg == "--vote-k" || arg == "--hist-bits" ||
+        arg == "--q" || arg == "--memory" ||
         arg == "--noise" || arg == "--sample" || arg == "--save" ||
         arg == "--trace" || arg == "--report" || arg == "--profile" ||
         arg == "--scratch" ||
@@ -237,10 +245,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.strategy = val;
     } else if (arg == "--combiner") {
       if (!parse_choice("--combiner", val,
-                        {"attr", "interval", "hybrid", "dist"})) {
+                        {"attr", "interval", "hybrid", "dist", "voting"})) {
         return false;
       }
       opt.combiner = val;
+    } else if (arg == "--vote-k") {
+      if (!parse_count("--vote-k", val, 1, 9, &n)) return false;
+      opt.vote_k = static_cast<int>(n);
+    } else if (arg == "--hist-bits") {
+      if (!parse_count("--hist-bits", val, 0, 32, &n)) return false;
+      opt.hist_bits = static_cast<int>(n);
     } else if (arg == "--q") {
       if (!parse_count("--q", val, 2, 1'000'000, &n)) return false;
       opt.q = static_cast<int>(n);
@@ -310,6 +324,7 @@ pdc::pclouds::CombineMethod combiner_of(const std::string& s) {
   if (s == "interval") return CombineMethod::kReplicationInterval;
   if (s == "hybrid") return CombineMethod::kReplicationHybrid;
   if (s == "dist") return CombineMethod::kDistributed;
+  if (s == "voting") return CombineMethod::kVoting;
   return CombineMethod::kReplicationAttribute;
 }
 
@@ -408,6 +423,8 @@ int main(int argc, char** argv) {
           cfg.clouds.q_root = opt.q;
           cfg.strategy = strategy_of(opt.strategy);
           cfg.combiner = combiner_of(opt.combiner);
+          cfg.vote_k = opt.vote_k;
+          cfg.hist_bits = opt.hist_bits;
           cfg.memory_bytes = opt.memory;
           cfg.checkpoint_every = opt.checkpoint_every;
           cfg.resume = opt.resume;

@@ -16,8 +16,25 @@ must grow with the processor count (communication is the scaling
 bottleneck, so an infinitely fast network buys strictly more speedup at
 p=16 than at p=2).
 
+Two standalone modes guard the voting combiner:
+
+--voting BENCH.jsonl
+    Over the fig1/scale/comb={repl,voting} rows: at every p >= 32 the
+    voting combiner's comm share and total modeled time must be strictly
+    below replication's, and voting's max_comm_s must grow sublinearly
+    (comm(2p) < 2 * comm(p) along the sweep).
+
+--drift DRIFT.json
+    Over a pdc.drift.v1 artifact (tests/differential_test with
+    PDC_DRIFT_JSON set): mean absolute end-tree accuracy delta <= 0.5
+    points and chosen-attribute agreement >= 95% at vote_k = 2 — the same
+    budgets the differential suite asserts, re-checked here so bench CI
+    fails if the approximation quietly degrades.
+
 Usage:
     python3 scripts/check_bench.py sync.jsonl pipelined.jsonl [profiled.jsonl]
+    python3 scripts/check_bench.py --voting BENCH.jsonl
+    python3 scripts/check_bench.py --drift DRIFT.json
 """
 
 import json
@@ -26,6 +43,8 @@ import sys
 
 TOLERANCE = 1.001  # allow 0.1% modeled-time noise
 CLOSURE_TOL = 1e-9
+DRIFT_MAX_MEAN_ACC_DELTA = 0.005  # 0.5 accuracy points
+DRIFT_MIN_AGREEMENT_K2 = 0.95
 
 
 def load(path):
@@ -96,7 +115,112 @@ def check_profile(rows, failures):
                         "multiple p values — cannot check headroom growth")
 
 
+def check_voting(path):
+    """Voting-vs-replication guarantees over the fig1/scale sweep."""
+    rows = load(path)
+    sweep = {}  # (comb, p) -> row
+    for label, r in rows.items():
+        m = re.match(r".*comb=(repl|voting)/.*p=(\d+)$", label)
+        if m and label.startswith("fig1/scale/"):
+            sweep[(m.group(1), int(m.group(2)))] = r
+    if not sweep:
+        return [f"--voting: no fig1/scale/comb=* rows in {path}"]
+
+    failures = []
+    procs = sorted({p for (_, p) in sweep})
+    print(f"{'p':>5s} {'repl_s':>9s} {'vote_s':>9s} "
+          f"{'repl_comm':>10s} {'vote_comm':>10s} "
+          f"{'repl_share':>10s} {'vote_share':>10s}")
+    for p in procs:
+        repl = sweep.get(("repl", p))
+        vote = sweep.get(("voting", p))
+        if repl is None or vote is None:
+            failures.append(f"--voting: p={p} missing a combiner row")
+            continue
+        r_share = repl["max_comm_s"] / max(repl["parallel_time_s"], 1e-12)
+        v_share = vote["max_comm_s"] / max(vote["parallel_time_s"], 1e-12)
+        print(f"{p:5d} {repl['parallel_time_s']:9.4f} "
+              f"{vote['parallel_time_s']:9.4f} {repl['max_comm_s']:10.4f} "
+              f"{vote['max_comm_s']:10.4f} {r_share:10.3f} {v_share:10.3f}")
+        if p >= 32:
+            if v_share >= r_share:
+                failures.append(
+                    f"--voting: p={p} voting comm share {v_share:.3f} not "
+                    f"strictly below replication's {r_share:.3f}")
+            if vote["parallel_time_s"] >= repl["parallel_time_s"]:
+                failures.append(
+                    f"--voting: p={p} voting modeled time "
+                    f"{vote['parallel_time_s']:.4f}s not strictly below "
+                    f"replication's {repl['parallel_time_s']:.4f}s")
+    # Sublinear comm growth along the voting sweep: comm(2p) < 2*comm(p).
+    doubled = False
+    for p in procs:
+        lo = sweep.get(("voting", p))
+        hi = sweep.get(("voting", 2 * p))
+        if lo is None or hi is None:
+            continue
+        doubled = True
+        if hi["max_comm_s"] >= 2 * lo["max_comm_s"]:
+            failures.append(
+                f"--voting: voting max_comm_s grows superlinearly "
+                f"p={p}->{2 * p}: {lo['max_comm_s']:.4f} -> "
+                f"{hi['max_comm_s']:.4f}")
+    if not doubled:
+        failures.append("--voting: sweep has no p/2p voting pair — cannot "
+                        "check sublinear comm growth")
+    return failures
+
+
+def check_drift(path):
+    """Drift budgets over a pdc.drift.v1 artifact."""
+    with open(path) as f:
+        doc = json.load(f)
+    failures = []
+    if doc.get("schema") != "pdc.drift.v1":
+        return [f"--drift: {path} is not a pdc.drift.v1 artifact"]
+    mean_abs = doc["tree"]["mean_abs_delta"]
+    agree_k2 = doc["node"]["agreement_rate_k2"]
+    # The artifact embeds its thresholds; never accept looser ones than
+    # the budgets this script owns.
+    max_mean = min(doc["thresholds"]["max_mean_accuracy_delta"],
+                   DRIFT_MAX_MEAN_ACC_DELTA)
+    min_agree = max(doc["thresholds"]["min_agreement_rate_k2"],
+                    DRIFT_MIN_AGREEMENT_K2)
+    n_runs = len(doc["tree"]["runs"])
+    n_cells = len(doc["node"]["cells"])
+    print(f"drift: {n_runs} tree runs, {n_cells} node cells, "
+          f"mean_abs_delta={mean_abs:.5f} (budget {max_mean}), "
+          f"agreement_k2={agree_k2:.3f} (budget {min_agree})")
+    if n_runs == 0 or n_cells == 0:
+        failures.append("--drift: artifact has no measurements")
+    if mean_abs > max_mean:
+        failures.append(
+            f"--drift: mean abs accuracy delta {mean_abs:.5f} exceeds "
+            f"{max_mean} — the voting approximation degraded")
+    if agree_k2 < min_agree:
+        failures.append(
+            f"--drift: k=2 attribute agreement {agree_k2:.3f} below "
+            f"{min_agree}")
+    if not doc.get("pass", False):
+        failures.append("--drift: artifact reports pass=false")
+    return failures
+
+
+def run_flag_mode(flag, path):
+    failures = (check_voting(path) if flag == "--voting"
+                else check_drift(path))
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: OK — {flag[2:]} budgets hold")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] in ("--voting", "--drift"):
+        return run_flag_mode(sys.argv[1], sys.argv[2])
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
     sync = load(sys.argv[1])

@@ -29,6 +29,7 @@ inline constexpr std::string_view kPartitionPass = "partition-pass";
 inline constexpr std::string_view kPresort = "presort";
 inline constexpr std::string_view kSplitEval = "split-eval";
 inline constexpr std::string_view kCombinerExchange = "combiner-exchange";
+inline constexpr std::string_view kVotingExchange = "voting-exchange";
 inline constexpr std::string_view kLargeNode = "large-node";
 inline constexpr std::string_view kRedistribute = "redistribute";
 inline constexpr std::string_view kSmallNodeDrain = "small-node-drain";
@@ -74,7 +75,7 @@ inline constexpr std::string_view kAll[] = {
     kSubtreeAssembly, kSolveSequential, kHistogramBuild,
     kGiniEvaluation, kAliveEvaluation, kPartitionPass,
     kPresort,        kSplitEval,      kCombinerExchange,
-    kLargeNode,      kRedistribute,   kSmallNodeDrain,
+    kVotingExchange, kLargeNode,      kRedistribute,   kSmallNodeDrain,
     kCheckpointWrite, kCheckpointRestore, kPrune,
     kEvaluate,       kSend,           kRecv,
     kBarrier,        kAllToAllBroadcast, kGather,

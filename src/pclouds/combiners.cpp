@@ -1,11 +1,15 @@
 #include "pclouds/combiners.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "clouds/categorical.hpp"
 #include "clouds/estimate.hpp"
 #include "clouds/gini.hpp"
+#include "pclouds/stats_codec.hpp"
 
 namespace pdc::pclouds {
 
@@ -33,6 +37,9 @@ struct WorkAssign {
   CombineMethod method;
   int nprocs;
   std::size_t total_boundary_items;
+  /// kVoting only: position of each unified attribute id in the candidate
+  /// list, -1 for attributes that lost the vote (nobody evaluates those).
+  const std::array<int, data::kNumAttributes>* voted_ordinal = nullptr;
 
   bool owns_numeric(int rank, int attr, std::size_t item_index) const {
     switch (method) {
@@ -53,12 +60,21 @@ struct WorkAssign {
       }
       case CombineMethod::kDistributed:
         return attr % nprocs == rank;
+      case CombineMethod::kVoting: {
+        const int ord = (*voted_ordinal)[static_cast<std::size_t>(attr)];
+        return ord >= 0 && ord % nprocs == rank;
+      }
     }
     return false;
   }
 
   bool owns_categorical(int rank, int cat_attr) const {
-    return (data::kNumNumeric + cat_attr) % nprocs == rank;
+    const int attr = data::kNumNumeric + cat_attr;
+    if (method == CombineMethod::kVoting) {
+      const int ord = (*voted_ordinal)[static_cast<std::size_t>(attr)];
+      return ord >= 0 && ord % nprocs == rank;
+    }
+    return attr % nprocs == rank;
   }
 };
 
@@ -259,6 +275,176 @@ BoundaryDerivation derive_distributed(mp::Comm& comm, const NodeStats& local,
         out.gini_min.valid ? out.gini_min.gini
                            : std::numeric_limits<double>::infinity();
     auto mine = owned_alive_intervals(owned, assign, comm.rank(), threshold,
+                                      hooks);
+    out.alive = share_alive(comm, std::move(mine));
+  }
+  return out;
+}
+
+// ------------------------------------------------- voting combiner ---
+
+std::vector<int> select_voted_attributes(
+    std::span<const VoteNomination> gathered, int vote_k) {
+  constexpr int m = data::kNumAttributes;
+  const int want = 2 * vote_k;
+  std::vector<int> out;
+  if (want >= m) {
+    // Exactness condition: every attribute is a candidate, including ones
+    // nobody nominated, so the derivation degenerates to the exact
+    // attribute-based evaluation.
+    out.resize(static_cast<std::size_t>(m));
+    for (int a = 0; a < m; ++a) out[static_cast<std::size_t>(a)] = a;
+    return out;
+  }
+  struct Tally {
+    int votes = 0;
+    double best = std::numeric_limits<double>::infinity();
+  };
+  std::array<Tally, static_cast<std::size_t>(m)> tally{};
+  for (const auto& nom : gathered) {
+    if (nom.attr < 0 || nom.attr >= m) continue;
+    auto& t = tally[static_cast<std::size_t>(nom.attr)];
+    ++t.votes;
+    t.best = std::min(t.best, nom.gini);
+  }
+  std::vector<int> ranked;
+  for (int a = 0; a < m; ++a) {
+    if (tally[static_cast<std::size_t>(a)].votes > 0) ranked.push_back(a);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    const auto& ta = tally[static_cast<std::size_t>(a)];
+    const auto& tb = tally[static_cast<std::size_t>(b)];
+    if (ta.votes != tb.votes) return ta.votes > tb.votes;
+    if (ta.best != tb.best) return ta.best < tb.best;
+    return a < b;
+  });
+  if (ranked.size() > static_cast<std::size_t>(want)) {
+    ranked.resize(static_cast<std::size_t>(want));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  return ranked;
+}
+
+BoundaryDerivation derive_voting(mp::Comm& comm, const NodeStats& local,
+                                 int vote_k, int hist_bits, bool want_alive,
+                                 const clouds::CostHooks& hooks,
+                                 VotingDiag* diag) {
+  if (vote_k < 1) {
+    throw std::invalid_argument("pclouds: vote_k must be >= 1");
+  }
+  VotingDiag scratch;
+  VotingDiag& vd = diag != nullptr ? *diag : scratch;
+
+  NodeStats global = local;  // boundary layout kept; counts replaced below
+  {
+    auto sp = hooks.span("voting-exchange", "pclouds");
+
+    // Each rank's claim: its vote_k locally best attributes by gini.
+    std::vector<std::pair<double, int>> local_best;
+    for (int a = 0; a < data::kNumNumeric; ++a) {
+      const auto c = clouds::evaluate_boundaries(
+          local.hists[static_cast<std::size_t>(a)], a, hooks);
+      if (c.valid) local_best.emplace_back(c.gini, a);
+    }
+    for (int c = 0; c < data::kNumCategorical; ++c) {
+      const auto cand = clouds::best_categorical_split(
+          local.cats[static_cast<std::size_t>(c)]);
+      if (cand.valid) {
+        local_best.emplace_back(cand.gini, data::kNumNumeric + c);
+      }
+    }
+    std::sort(local_best.begin(), local_best.end());
+    std::vector<VoteNomination> noms(static_cast<std::size_t>(vote_k));
+    for (std::size_t i = 0;
+         i < noms.size() && i < local_best.size(); ++i) {
+      noms[i].attr = static_cast<std::int32_t>(local_best[i].second);
+      noms[i].gini = local_best[i].first;
+    }
+
+    // One small allgather elects the global candidates deterministically:
+    // every rank tallies the identical nomination table.
+    const auto gathered = comm.all_gather<VoteNomination>(noms);
+    vd.candidates = select_voted_attributes(gathered, vote_k);
+
+    // Only the candidates' histograms travel, delta/varint coded (and
+    // optionally quantized); the decoded streams are summed exactly.
+    const auto blob = encode_voted_stats(local, vd.candidates, hist_bits);
+    std::size_t flat_len = static_cast<std::size_t>(data::kNumClasses);
+    for (const int attr : vd.candidates) {
+      flat_len += voted_attr_len(local, attr);
+    }
+    const auto blobs = comm.all_to_all_broadcast<std::byte>(blob);
+    std::vector<std::int64_t> sum(flat_len, 0);
+    for (const auto& b : blobs) {
+      const auto flat = decode_voted_stats(b, flat_len);
+      for (std::size_t i = 0; i < flat_len; ++i) sum[i] += flat[i];
+    }
+
+    // The replication method would have shipped every attribute's counts
+    // as raw int64; the difference is what the vote saved this rank.
+    std::uint64_t exact_units = static_cast<std::uint64_t>(data::kNumClasses);
+    for (int a = 0; a < data::kNumAttributes; ++a) {
+      exact_units += voted_attr_len(local, a);
+    }
+    vd.bytes_exact = exact_units * sizeof(std::int64_t);
+    vd.bytes_exchanged = blob.size();
+    hooks.tracer.count("comm.voting.bytes_saved",
+                       vd.bytes_exact > vd.bytes_exchanged
+                           ? vd.bytes_exact - vd.bytes_exchanged
+                           : 0);
+
+    // Losing attributes are zeroed: they own no boundary items, produce no
+    // alive intervals and cannot win the min-reduction.
+    for (auto& h : global.hists) h.reset_counts();
+    for (auto& cm : global.cats) {
+      std::fill(cm.counts.begin(), cm.counts.end(), data::ClassCounts{});
+    }
+    std::size_t at = 0;
+    for (const int attr : vd.candidates) {
+      const std::size_t len = voted_attr_len(local, attr);
+      if (attr < data::kNumNumeric) {
+        auto& h = global.hists[static_cast<std::size_t>(attr)];
+        for (std::size_t j = 0; j < h.freq.size(); ++j) {
+          for (int k = 0; k < data::kNumClasses; ++k) {
+            h.freq[j][static_cast<std::size_t>(k)] =
+                sum[at + j * static_cast<std::size_t>(data::kNumClasses) +
+                    static_cast<std::size_t>(k)];
+          }
+        }
+      } else {
+        auto& cm =
+            global.cats[static_cast<std::size_t>(attr - data::kNumNumeric)];
+        cm.unflatten(std::span<const std::int64_t>(sum.data() + at, len));
+      }
+      at += len;
+    }
+    for (int k = 0; k < data::kNumClasses; ++k) {
+      global.counts[static_cast<std::size_t>(k)] =
+          sum[at + static_cast<std::size_t>(k)];
+    }
+  }
+
+  auto sp = hooks.span("gini-evaluation", "pclouds");
+  BoundaryDerivation out;
+  out.counts = global.counts;
+  std::array<int, data::kNumAttributes> ordinal;
+  ordinal.fill(-1);
+  for (std::size_t i = 0; i < vd.candidates.size(); ++i) {
+    ordinal[static_cast<std::size_t>(vd.candidates[i])] =
+        static_cast<int>(i);
+  }
+  const WorkAssign assign{CombineMethod::kVoting, comm.size(),
+                          total_boundary_items(global), &ordinal};
+
+  const auto local_best =
+      evaluate_owned_boundaries(global, assign, comm.rank(), hooks);
+  out.gini_min = reduce_candidates(comm, local_best);
+
+  if (want_alive) {
+    const double threshold =
+        out.gini_min.valid ? out.gini_min.gini
+                           : std::numeric_limits<double>::infinity();
+    auto mine = owned_alive_intervals(global, assign, comm.rank(), threshold,
                                       hooks);
     out.alive = share_alive(comm, std::move(mine));
   }

@@ -10,7 +10,9 @@
 // in how the global frequency vectors are materialized (communication
 // pattern and volume).
 
+#include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "clouds/cost_hooks.hpp"
@@ -54,5 +56,50 @@ BoundaryDerivation derive_distributed(mp::Comm& comm,
                                       const clouds::NodeStats& local,
                                       bool want_alive,
                                       const clouds::CostHooks& hooks);
+
+// ------------------------------------------------- voting combiner ---
+
+/// One rank's claim in the attribute vote: the unified attribute id
+/// (0..kNumNumeric-1 numeric, then categorical) and the best gini its
+/// *local* histograms admit for that attribute.  attr == -1 pads a rank
+/// with fewer than k locally-splittable attributes, so every rank's
+/// nomination block has identical size.
+struct VoteNomination {
+  std::int32_t attr = -1;
+  std::int32_t pad = 0;  ///< keeps the struct free of uninitialized bytes
+  double gini = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<VoteNomination>,
+              "nominations travel through one small allgather");
+
+/// Deterministic tally of the allgathered nominations (rank-major, k per
+/// rank): attributes ranked by vote count, then by their best nominated
+/// gini, then by id; the top min(2k, kNumAttributes) survive.  When
+/// 2k >= kNumAttributes every attribute is a candidate — the exactness
+/// condition — even ones nobody nominated.  Returns ascending ids.
+std::vector<int> select_voted_attributes(
+    std::span<const VoteNomination> gathered, int vote_k);
+
+/// Per-derivation accounting for the voting exchange, surfaced through the
+/// `comm.voting.bytes_saved` counter and the combiner ablation.
+struct VotingDiag {
+  std::vector<int> candidates;        ///< the voted attribute ids
+  std::uint64_t bytes_exchanged = 0;  ///< this rank's voted blob size
+  std::uint64_t bytes_exact = 0;      ///< full replication blob size
+};
+
+/// Voting method (PV-Tree style): each rank nominates its vote_k locally
+/// best attributes by gini, one small allgather elects min(2k, m) global
+/// candidates, and only those attributes' interval histograms are
+/// exchanged (delta/varint coded, optionally quantized to hist_bits
+/// significant bits) and merged exactly.  Boundary evaluation and
+/// aliveness are restricted to the candidates — the approximation the
+/// drift suite quantifies.  With 2k >= m and hist_bits == 0 the result is
+/// bit-identical to kReplicationAttribute.
+BoundaryDerivation derive_voting(mp::Comm& comm,
+                                 const clouds::NodeStats& local, int vote_k,
+                                 int hist_bits, bool want_alive,
+                                 const clouds::CostHooks& hooks,
+                                 VotingDiag* diag = nullptr);
 
 }  // namespace pdc::pclouds

@@ -23,6 +23,7 @@ enum class CombineMethod : int {
   kReplicationInterval = 1,   ///< boundaries round-robined across ranks
   kReplicationHybrid = 2,     ///< contiguous balanced (attr, boundary) chunks
   kDistributed = 3,           ///< stats gathered only to per-attribute owners
+  kVoting = 4,                ///< top-k vote; only 2k attributes' stats travel
 };
 
 /// Where the interval boundaries of each node come from.
@@ -40,6 +41,19 @@ struct PcloudsConfig {
   clouds::CloudsConfig clouds{};  ///< method (SS/SSE), q schedule, stopping
   dc::Strategy strategy = dc::Strategy::kMixed;
   CombineMethod combiner = CombineMethod::kReplicationAttribute;
+
+  /// CombineMethod::kVoting: how many locally-best attributes each rank
+  /// nominates; the vote keeps min(2k, m) global candidates and only their
+  /// interval histograms travel.  2k >= m (m = data::kNumAttributes)
+  /// degenerates to the exact attribute-based evaluation.
+  int vote_k = 2;
+
+  /// CombineMethod::kVoting second communication lever: quantize the
+  /// exchanged histogram counts to this many significant bits before the
+  /// delta/varint wire encoding (0 = exact counts).  Quantization biases
+  /// the merged counts, so it trades further split-quality drift for
+  /// smaller vote-exchange payloads.
+  int hist_bits = 0;
 
   /// Switch to task parallelism when a node's interval budget would drop to
   /// this many intervals (paper: 10).

@@ -130,8 +130,12 @@ std::vector<std::byte> CloudsProblem::local_stats(const Scan& scan,
   } else if (ctx.prefilled) {
     ++diag_.prefilled_nodes;  // the pass the paper's partitioning saves
   }
-  if (cfg_.combiner == CombineMethod::kDistributed) {
-    return {};  // stats travel via targeted gathers inside decide()
+  if (cfg_.combiner == CombineMethod::kDistributed ||
+      cfg_.combiner == CombineMethod::kVoting) {
+    // Stats do not ride the driver's all-to-all: the distributed method
+    // gathers them to per-attribute owners, the voting method exchanges
+    // only the voted candidates — both inside decide().
+    return {};
   }
   return encode_stats(ctx.local);
 }
@@ -182,6 +186,12 @@ std::optional<CloudsProblem::Router> CloudsProblem::decide(
   BoundaryDerivation bd;
   if (cfg_.combiner == CombineMethod::kDistributed) {
     bd = derive_distributed(comm, ctx.local, want_alive, hooks_);
+  } else if (cfg_.combiner == CombineMethod::kVoting) {
+    // Works in both boundary modes: ctx.local is filled either way by the
+    // time we get here, and the voting exchange replaces the full-stats
+    // broadcast entirely.
+    bd = derive_voting(comm, ctx.local, cfg_.vote_k, cfg_.hist_bits,
+                       want_alive, hooks_);
   } else if (!sketch_mode()) {
     NodeStats global = ctx.local;  // boundary layout; frequencies replaced
     decode_stats(stats, global);
@@ -507,6 +517,11 @@ std::vector<std::byte> CloudsProblem::export_state() const {
     throw std::logic_error("pclouds: export_state with a decision in flight");
   }
   std::vector<std::byte> out;
+  // Decisions replay after a resume, so the knobs that steer them must
+  // match the snapshot's; stamp them first and verify on restore.
+  put_raw(out, static_cast<std::int32_t>(cfg_.combiner));
+  put_raw(out, static_cast<std::int32_t>(cfg_.vote_k));
+  put_raw(out, static_cast<std::int32_t>(cfg_.hist_bits));
   put_vec(out, tree_.serialize());
 
   put_raw(out, static_cast<std::uint64_t>(node_of_.size()));
@@ -542,6 +557,16 @@ std::vector<std::byte> CloudsProblem::export_state() const {
 
 void CloudsProblem::restore_state(std::span<const std::byte> blob) {
   std::size_t at = 0;
+  const auto combiner = get_raw<std::int32_t>(blob, at);
+  const auto vote_k = get_raw<std::int32_t>(blob, at);
+  const auto hist_bits = get_raw<std::int32_t>(blob, at);
+  if (combiner != static_cast<std::int32_t>(cfg_.combiner) ||
+      vote_k != cfg_.vote_k || hist_bits != cfg_.hist_bits) {
+    throw std::runtime_error(
+        "pclouds: snapshot was taken under a different combiner "
+        "configuration; resume with the matching --combiner/--vote-k/"
+        "--hist-bits or start fresh");
+  }
   tree_ = clouds::DecisionTree::deserialize(get_vec<clouds::TreeNode>(blob, at));
 
   node_of_.clear();

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "clouds/splitters.hpp"
@@ -70,6 +71,128 @@ inline std::vector<std::byte> combine_stats_blobs(
   const auto fb = mp::from_bytes<std::int64_t>(b);
   for (std::size_t i = 0; i < fa.size(); ++i) fa[i] += fb[i];
   return mp::to_bytes(std::span<const std::int64_t>(fa));
+}
+
+// ---------------------------------------------- voting wire codec ---
+//
+// The voting combiner ships only the voted candidate attributes' counts,
+// and compresses them: each count is optionally rounded to `hist_bits`
+// significant bits, then the stream is delta-encoded against its
+// predecessor and written as zigzag varints.  Equi-depth intervals make
+// neighbouring counts similar, so deltas are small and the varints short.
+// Ranks sum the *decoded* streams, so the merge itself stays exact;
+// hist_bits > 0 biases each rank's counts before the merge (a quantified
+// drift lever), hist_bits == 0 is lossless.
+
+/// Round `v >= 0` to `bits` significant bits (0 = exact).  Values below
+/// 2^bits pass through unchanged; rounding is to-nearest, ties up, so the
+/// mapping is deterministic and monotone.
+inline std::int64_t quantize_count(std::int64_t v, int bits) {
+  if (bits <= 0 || v < (std::int64_t{1} << bits)) return v;
+  int width = 0;
+  for (std::int64_t t = v; t > 0; t >>= 1) ++width;
+  const int shift = width - bits;
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  return ((v + half) >> shift) << shift;
+}
+
+inline void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline std::uint64_t get_varint(std::span<const std::byte> in,
+                                std::size_t& at) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (at >= in.size() || shift > 63) {
+      throw std::runtime_error("pclouds: truncated voted-stats blob");
+    }
+    const auto b = static_cast<std::uint64_t>(in[at++]);
+    v |= (b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Flat count layout of one attribute in the voted exchange: numeric
+/// attributes contribute interval-major class counts, categorical
+/// attributes (unified ids >= kNumNumeric) their flattened count matrix.
+inline std::size_t voted_attr_len(const clouds::NodeStats& stats, int attr) {
+  if (attr < data::kNumNumeric) {
+    return stats.hists[static_cast<std::size_t>(attr)].freq.size() *
+           static_cast<std::size_t>(data::kNumClasses);
+  }
+  return stats.cats[static_cast<std::size_t>(attr - data::kNumNumeric)]
+             .counts.size() *
+         static_cast<std::size_t>(data::kNumClasses);
+}
+
+/// Encode this rank's counts for the voted candidates (plus the node class
+/// counts, appended last so the merge needs no second collective).
+inline std::vector<std::byte> encode_voted_stats(
+    const clouds::NodeStats& stats, std::span<const int> candidates,
+    int hist_bits) {
+  std::vector<std::byte> out;
+  std::int64_t prev = 0;
+  const auto put = [&](std::int64_t raw) {
+    const std::int64_t q = quantize_count(raw, hist_bits);
+    put_varint(out, zigzag(q - prev));
+    prev = q;
+  };
+  for (const int attr : candidates) {
+    if (attr < data::kNumNumeric) {
+      const auto& h = stats.hists[static_cast<std::size_t>(attr)];
+      for (const auto& f : h.freq) {
+        for (int k = 0; k < data::kNumClasses; ++k) {
+          put(f[static_cast<std::size_t>(k)]);
+        }
+      }
+    } else {
+      const auto& m =
+          stats.cats[static_cast<std::size_t>(attr - data::kNumNumeric)];
+      for (const auto v : m.flatten()) put(v);
+    }
+  }
+  // Node class counts are never quantized: sizes drive the stop rule.
+  for (int k = 0; k < data::kNumClasses; ++k) {
+    const std::int64_t v = stats.counts[static_cast<std::size_t>(k)];
+    put_varint(out, zigzag(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+/// Decode one rank's voted blob back to the flat count stream (candidate
+/// attributes in `candidates` order, then kNumClasses node counts).
+inline std::vector<std::int64_t> decode_voted_stats(
+    std::span<const std::byte> blob, std::size_t expected_len) {
+  std::vector<std::int64_t> flat;
+  flat.reserve(expected_len);
+  std::size_t at = 0;
+  std::int64_t prev = 0;
+  while (flat.size() < expected_len) {
+    prev += unzigzag(get_varint(blob, at));
+    flat.push_back(prev);
+  }
+  if (at != blob.size()) {
+    throw std::runtime_error("pclouds: trailing bytes in voted-stats blob");
+  }
+  return flat;
 }
 
 }  // namespace pdc::pclouds

@@ -7,20 +7,31 @@
 //    CloudsBuilder on the same function-2 workload.
 //  - SSE (lower bounds + exact re-evaluation) matches the direct method's
 //    split quality at every node of an in-memory build, and SS stays close.
+//  - The voting combiner's drift vs the exact combiner is *quantified*:
+//    per-node gini-gain deltas and chosen-attribute agreement over a
+//    (p x vote_k) matrix, plus end-tree accuracy deltas across seeded
+//    Agrawal functions, asserted against explicit budgets and emitted as
+//    a pdc.drift.v1 artifact when PDC_DRIFT_JSON names an output path.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "clouds/builder.hpp"
+#include "clouds/record_source.hpp"
 #include "clouds/splitters.hpp"
 #include "data/dataset.hpp"
+#include "drift_report.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
+#include "pclouds/combiners.hpp"
 #include "pclouds/pclouds.hpp"
 
 namespace pdc {
@@ -45,11 +56,20 @@ struct ParallelRun {
   double accuracy = 0.0;
 };
 
-ParallelRun run_pclouds(int p, std::uint64_t n,
-                        std::span<const Record> test) {
+pclouds::PcloudsConfig differential_cfg() {
+  pclouds::PcloudsConfig cfg;
+  cfg.clouds.q_root = 400;
+  cfg.memory_bytes = 64 << 10;
+  return cfg;
+}
+
+ParallelRun run_pclouds(int p, std::uint64_t n, std::span<const Record> test,
+                        int function = 2,
+                        const pclouds::PcloudsConfig& cfg =
+                            differential_cfg()) {
   io::ScratchArena arena("differential", p);
   mp::Runtime rt(p);
-  data::AgrawalGenerator gen({.function = 2, .seed = 11});
+  data::AgrawalGenerator gen({.function = function, .seed = 11});
   data::DatasetPartition part(n, p);
   data::Sampler sampler(0.05, 4);
 
@@ -62,9 +82,6 @@ ParallelRun run_pclouds(int p, std::uint64_t n,
                                   2048);
     const auto sample = data::draw_local_sample(gen, part, sampler,
                                                 comm.rank());
-    pclouds::PcloudsConfig cfg;
-    cfg.clouds.q_root = 400;
-    cfg.memory_bytes = 64 << 10;
     auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
     if (comm.rank() == 0) {
       std::lock_guard lock(mu);
@@ -127,6 +144,173 @@ TEST(Differential, SseMatchesDirectSplitQualityOnRandomNodes) {
     EXPECT_NEAR(sse.gini, exact.gini, 1e-9) << "trial " << trial;
     EXPECT_GE(ss.gini + 1e-9, exact.gini) << "trial " << trial;
   }
+}
+
+// ------------- drift quantification: voting combiner vs the exact one ---
+//
+// The voting combiner trades exactness for communication volume; these
+// tests measure the trade instead of hand-waving it.  Both tests feed one
+// shared DriftReport; when PDC_DRIFT_JSON names a path the suite writes
+// the pdc.drift.v1 artifact there on teardown (CI archives it and
+// scripts/check_bench.py --drift re-asserts the budgets).
+
+struct NodeWorkload {
+  std::vector<Record> records;
+  std::vector<Record> sample;
+  clouds::NodeStats global;
+  clouds::SplitCandidate exact;  ///< the exact combiner's split (== ss)
+};
+
+NodeWorkload make_node_workload(int function, std::uint64_t seed, int q,
+                                std::uint64_t count = 1200,
+                                double noise = 0.05) {
+  NodeWorkload w;
+  data::AgrawalGenerator gen(
+      {.function = function, .seed = seed, .label_noise = noise});
+  w.records = gen.make_range(0, count);
+  for (std::size_t i = 0; i < w.records.size(); i += 8) {
+    w.sample.push_back(w.records[i]);
+  }
+  w.global = clouds::NodeStats::with_boundaries(w.sample, q);
+  clouds::MemorySource src(w.records);
+  clouds::collect_stats(src, w.global, {});
+  w.exact = clouds::ss_split(w.global, {});
+  return w;
+}
+
+/// A node where attributes 0, 1 and 2 carry nearly identical signal and
+/// everything else is noise.  k=1 elects only min(2k, m) = 2 candidates,
+/// so per-rank sampling noise can vote the exact winner out of a
+/// three-way near-tie — the drift the suite exists to measure — while
+/// k=2 keeps four candidates and recovers the exact choice.
+NodeWorkload make_near_tie_workload(std::uint64_t seed, int q) {
+  NodeWorkload w;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uf(0.0f, 1.0f);
+  for (int i = 0; i < 600; ++i) {
+    Record r{};
+    r.label = static_cast<std::int8_t>(rng() & 1u);
+    for (auto& v : r.num) v = uf(rng);
+    for (auto& c : r.cat) c = static_cast<std::int8_t>(rng() % 4);
+    // Three signal attributes shift with the label, each a hair less than
+    // the previous: far below per-rank sampling noise, so local rankings
+    // of the three are effectively arbitrary.
+    if (r.label == 1) {
+      r.num[0] += 0.600f;
+      r.num[1] += 0.599f;
+      r.num[2] += 0.598f;
+    }
+    w.records.push_back(r);
+  }
+  for (std::size_t i = 0; i < w.records.size(); i += 4) {
+    w.sample.push_back(w.records[i]);
+  }
+  w.global = clouds::NodeStats::with_boundaries(w.sample, q);
+  clouds::MemorySource src(w.records);
+  clouds::collect_stats(src, w.global, {});
+  w.exact = clouds::ss_split(w.global, {});
+  return w;
+}
+
+class DriftSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { report_ = new drift::DriftReport(); }
+  static void TearDownTestSuite() {
+    if (const char* path = std::getenv("PDC_DRIFT_JSON")) {
+      report_->write_json(path);
+    }
+    delete report_;
+    report_ = nullptr;
+  }
+  static drift::DriftReport* report_;
+};
+
+drift::DriftReport* DriftSuite::report_ = nullptr;
+
+TEST_F(DriftSuite, NodeLevelGiniDeltaAndAgreementWithinBudget) {
+  const int q = 32;
+  std::vector<NodeWorkload> workloads;
+  for (const int fn : {1, 3, 5}) {
+    for (const std::uint64_t seed : {201, 202}) {
+      workloads.push_back(make_node_workload(fn, seed, q));
+    }
+  }
+  // Two hard nodes: few records, heavy label noise — local nominations
+  // diverge here, so the distributions get a real tail.
+  workloads.push_back(make_node_workload(7, 203, q, 320, 0.2));
+  workloads.push_back(make_node_workload(7, 204, q, 320, 0.2));
+  // Two near-tie nodes where k=1 voting can legitimately drift.
+  workloads.push_back(make_near_tie_workload(301, q));
+  workloads.push_back(make_near_tie_workload(302, q));
+
+  for (const int p : {2, 4, 8}) {
+    for (const int k : {1, 2}) {
+      drift::NodeCell cell;
+      cell.p = p;
+      cell.vote_k = k;
+      mp::Runtime rt(p);
+      rt.set_lockstep(true);
+      std::mutex mu;
+      rt.run([&](mp::Comm& comm) {
+        for (const auto& w : workloads) {
+          auto local = clouds::NodeStats::with_boundaries(w.sample, q);
+          for (std::size_t i = static_cast<std::size_t>(comm.rank());
+               i < w.records.size(); i += static_cast<std::size_t>(p)) {
+            local.add(w.records[i]);
+          }
+          const auto bd =
+              pclouds::derive_voting(comm, local, k, /*hist_bits=*/0,
+                                     /*want_alive=*/false, {});
+          if (comm.rank() == 0) {
+            std::lock_guard lock(mu);
+            cell.trials++;
+            const bool agree =
+                bd.gini_min.valid && w.exact.valid &&
+                bd.gini_min.split.kind == w.exact.split.kind &&
+                bd.gini_min.split.attr == w.exact.split.attr;
+            if (agree) cell.agreements++;
+            cell.gini_delta.add(bd.gini_min.gini - w.exact.gini);
+          }
+        }
+      });
+      // The voted candidate set is a subset of the full attribute set, so
+      // voting can match but never beat the exact optimum.
+      EXPECT_GE(cell.gini_delta.min() + 1e-9, 0.0)
+          << "p=" << p << " k=" << k;
+      report_->node_cells.push_back(cell);
+    }
+  }
+
+  // The headline budget: at k=2, the vote picks the exact combiner's
+  // splitting attribute at least 95% of the time.
+  EXPECT_GE(report_->agreement_rate_k2(), report_->min_agreement_rate_k2);
+}
+
+TEST_F(DriftSuite, TreeAccuracyDriftWithinBudget) {
+  const std::uint64_t n = 6000;
+  const int p = 4;
+  auto voting = differential_cfg();
+  voting.combiner = pclouds::CombineMethod::kVoting;
+  voting.vote_k = 2;
+  auto exact = differential_cfg();
+  exact.combiner = pclouds::CombineMethod::kReplicationAttribute;
+
+  for (const int fn : {1, 2, 3, 5, 7}) {
+    data::AgrawalGenerator test_gen({.function = fn, .seed = 99});
+    const auto test = data::make_test_set(test_gen, n, 2000);
+    const auto exact_run = run_pclouds(p, n, test, fn, exact);
+    const auto voting_run = run_pclouds(p, n, test, fn, voting);
+    const drift::TreeRun run{fn, p, 2, exact_run.accuracy,
+                             voting_run.accuracy};
+    report_->tree_runs.push_back(run);
+    // Per-function ceiling: a single workload may drift, but never by
+    // more than 2 accuracy points in either direction.
+    EXPECT_LE(std::abs(run.delta()), 0.02) << "function " << fn;
+  }
+
+  // The headline budget: mean absolute accuracy delta <= 0.5 points.
+  EXPECT_LE(report_->tree_mean_abs_delta(),
+            report_->max_mean_accuracy_delta);
 }
 
 }  // namespace

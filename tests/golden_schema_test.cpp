@@ -23,6 +23,7 @@
 
 #include "clouds/metrics.hpp"
 #include "data/dataset.hpp"
+#include "drift_report.hpp"
 #include "io/scratch.hpp"
 #include "mp/runtime.hpp"
 #include "obs/json.hpp"
@@ -237,6 +238,24 @@ TEST(GoldenSchema2, AnalyzerReportKeyStructureMatchesGolden) {
   fs::remove(out, ec);
   ASSERT_FALSE(json.empty()) << "analyzer produced no report";
   check_against_golden(json, "analysis.golden.json");
+}
+
+// The drift artifact's key structure is pinned the same way: build a small
+// synthetic report through the real builder (tests/drift_report.hpp) and
+// shape-compare it, so a schema change in the drift suite's output cannot
+// slip past CI or scripts/check_bench.py --drift unnoticed.
+TEST(GoldenSchema2, DriftReportKeyStructureMatchesGolden) {
+  drift::DriftReport report;
+  drift::NodeCell cell;
+  cell.p = 2;
+  cell.vote_k = 2;
+  cell.trials = 3;
+  cell.agreements = 3;
+  cell.gini_delta.add(0.0);
+  cell.gini_delta.add(0.01);
+  report.node_cells.push_back(cell);
+  report.tree_runs.push_back({2, 4, 2, 0.98, 0.979});
+  check_against_golden(report.to_json().dump(), "drift.golden.json");
 }
 
 TEST(GoldenShape, CollapsesDynamicMapsAndArrays) {

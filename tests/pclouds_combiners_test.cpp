@@ -76,6 +76,11 @@ TEST_P(CombinerMatrix, MatchesSequentialBoundaryDerivation) {
     BoundaryDerivation bd;
     if (method == CombineMethod::kDistributed) {
       bd = derive_distributed(comm, local, /*want_alive=*/true, {});
+    } else if (method == CombineMethod::kVoting) {
+      // vote_k = 5 makes 2k >= kNumAttributes: every attribute is a
+      // candidate and voting must degenerate to the exact derivation.
+      bd = derive_voting(comm, local, /*vote_k=*/5, /*hist_bits=*/0,
+                         /*want_alive=*/true, {});
     } else {
       // The replication path receives the pre-combined global stats, as
       // the driver would deliver them.
@@ -104,7 +109,106 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(CombineMethod::kReplicationAttribute,
                           CombineMethod::kReplicationInterval,
                           CombineMethod::kReplicationHybrid,
-                          CombineMethod::kDistributed)));
+                          CombineMethod::kDistributed,
+                          CombineMethod::kVoting)));
+
+// The hybrid assignment chunks `total_boundary_items` contiguously across
+// ranks; a small node can have fewer boundary items than ranks, leaving
+// empty chunks.  Exactly-at-threshold (items == p, one item per rank) and
+// below (items < p, idle ranks) must both still derive the sequential
+// answer on every rank.
+class HybridSmallNode : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridSmallNode, AtAndBelowTheItemThresholdMatchesSequential) {
+  const int p = GetParam();
+  const int q = 1;  // one boundary per numeric attribute: 6 items total
+  const auto w = make_workload(q, 17);
+  std::size_t items = 0;
+  for (const auto& h : w.global.hists) items += h.bounds.size();
+  ASSERT_LE(items, 6u);
+  ASSERT_LT(items, 7u) << "p=7 must leave at least one rank idle";
+
+  mp::Runtime rt(p);
+  rt.run([&](mp::Comm& comm) {
+    const auto bd = derive_replicated(comm, CombineMethod::kReplicationHybrid,
+                                      w.global, /*want_alive=*/true, {});
+    EXPECT_EQ(bd.counts, w.global.counts);
+    ASSERT_TRUE(bd.gini_min.valid);
+    EXPECT_NEAR(bd.gini_min.gini, w.seq_best.gini, 1e-12);
+    EXPECT_EQ(bd.gini_min.split, w.seq_best.split);
+    EXPECT_EQ(bd.alive.size(), w.seq_alive.size());
+  });
+}
+
+// items == p ("exactly at"), items < p (idle ranks), p = 1 (degenerate).
+INSTANTIATE_TEST_SUITE_P(Procs, HybridSmallNode, ::testing::Values(1, 6, 7));
+
+TEST(HybridSmallNode, SmallNodeRecordThresholdIsInclusive) {
+  // An exactly-at-threshold node (node_records == derived_small_threshold)
+  // is on the small side: its interval budget has already shrunk to
+  // interval_threshold.  The derivation is conservative — q_for truncates,
+  // so a slightly larger node can share the same budget — but it must
+  // never classify a node as small while its budget still exceeds the
+  // threshold.
+  PcloudsConfig cfg;
+  cfg.clouds.q_root = 400;
+  cfg.interval_threshold = 10;
+  const std::uint64_t root = 8000;
+  const auto thr = cfg.derived_small_threshold(root);
+  ASSERT_GT(thr, 0u);
+  EXPECT_EQ(cfg.clouds.q_for(thr, root), cfg.interval_threshold);
+  // The first genuinely large node: budget strictly above the threshold.
+  const std::uint64_t first_large =
+      (root * (static_cast<std::uint64_t>(cfg.interval_threshold) + 1) +
+       static_cast<std::uint64_t>(cfg.clouds.q_root) - 1) /
+      static_cast<std::uint64_t>(cfg.clouds.q_root);
+  EXPECT_GT(first_large, thr);
+  EXPECT_GT(cfg.clouds.q_for(first_large, root), cfg.interval_threshold);
+}
+
+// A rank holding zero records (p exceeds this node's record spread) must
+// merge cleanly: its empty statistics contribute nothing, and both the
+// distributed and the voting combiner still reach the sequential answer.
+TEST(ZeroRecordRank, EmptyLocalStatsMergeExactly) {
+  const int p = 4;
+  const int q = 24;
+  const auto w = make_workload(q, 19);
+
+  mp::Runtime rt(p);
+  rt.run([&](mp::Comm& comm) {
+    // Ranks 0..2 share the records round-robin; rank 3 holds none.
+    auto local = NodeStats::with_boundaries(w.sample, q);
+    if (comm.rank() < p - 1) {
+      for (std::size_t i = static_cast<std::size_t>(comm.rank());
+           i < w.records.size(); i += static_cast<std::size_t>(p - 1)) {
+        local.add(w.records[i]);
+      }
+    }
+    for (const auto& bd :
+         {derive_distributed(comm, local, /*want_alive=*/true, {}),
+          derive_voting(comm, local, /*vote_k=*/5, /*hist_bits=*/0,
+                        /*want_alive=*/true, {})}) {
+      EXPECT_EQ(bd.counts, w.global.counts);
+      ASSERT_TRUE(bd.gini_min.valid);
+      EXPECT_NEAR(bd.gini_min.gini, w.seq_best.gini, 1e-12);
+      EXPECT_EQ(bd.gini_min.split, w.seq_best.split);
+      EXPECT_EQ(bd.alive.size(), w.seq_alive.size());
+    }
+  });
+}
+
+// The voting wire codec under the same condition: an all-zero local blob
+// is a valid stream and decodes back to zeros of the right length.
+TEST(ZeroRecordRank, EmptyVotedBlobRoundTrips) {
+  const auto w = make_workload(16, 23);
+  const auto empty = NodeStats::with_boundaries(w.sample, 16);
+  const std::vector<int> candidates = {0, 7};
+  const auto blob = encode_voted_stats(empty, candidates, /*hist_bits=*/4);
+  std::size_t flat_len = static_cast<std::size_t>(data::kNumClasses);
+  for (const int attr : candidates) flat_len += voted_attr_len(empty, attr);
+  const auto flat = decode_voted_stats(blob, flat_len);
+  for (const auto v : flat) EXPECT_EQ(v, 0);
+}
 
 TEST(StatsCodec, EncodeDecodeRoundTrip) {
   const auto w = make_workload(16, 5);
