@@ -1,0 +1,206 @@
+// Serve throughput — interpreted vs compiled vs batched vs replicated.
+//
+// Four serving paths over the same trained tree and the same fresh record
+// stream:
+//
+//   serve/interp           pointer-chasing DecisionTree::classify, 1 thread
+//   serve/compiled/single  CompiledTree::predict (flat array, predicated
+//                          descent), 1 thread
+//   serve/compiled/batch   CompiledTree::predict_block (SoA lanes), 1 thread
+//   serve/replicas/r=N     the real pdc::serve Server: N replica workers
+//                          fed by the closed-loop load generator
+//
+// Every point appends a JSONL row via PDC_BENCH_JSON with records_per_s
+// and the host's hardware thread count; scripts/check_bench.py --serve
+// gates compiled-batch >= 5x interpreted (single thread) and replica
+// scaling efficiency >= 0.7 at r=4 normalized by min(4, hw_threads), so
+// the gate stays meaningful on small CI hosts.
+//
+// Wall time, not the modeled clock: serving sits outside the SPMD cost
+// model; the claim here is a real machine-throughput ratio.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "data/agrawal.hpp"
+#include "obs/json.hpp"
+#include "serve/compiled_tree.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/record_block.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using pdc::clouds::CloudsBuilder;
+using pdc::clouds::CloudsConfig;
+using pdc::clouds::DecisionTree;
+using pdc::data::AgrawalGenerator;
+using pdc::data::Record;
+using pdc::serve::CompiledTree;
+using pdc::serve::RecordBlock;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t scaled(std::uint64_t records) {
+  if (const char* env = std::getenv("PDC_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) {
+      return static_cast<std::uint64_t>(static_cast<double>(records) * s);
+    }
+  }
+  return records;
+}
+
+unsigned hw_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void emit_row(const std::string& label, const std::string& mode, int threads,
+              std::uint64_t records, double wall_s, double records_per_s) {
+  const char* path = std::getenv("PDC_BENCH_JSON");
+  if (!path || !*path) return;
+  std::string row = "{";
+  row += "\"label\": \"" + pdc::obs::json_escape(label) + "\"";
+  row += ", \"mode\": \"" + pdc::obs::json_escape(mode) + "\"";
+  row += ", \"threads\": " + std::to_string(threads);
+  row += ", \"hw_threads\": " + std::to_string(hw_threads());
+  row += ", \"records\": " + std::to_string(records);
+  row += ", \"wall_s\": " + pdc::obs::json_number(wall_s);
+  row += ", \"records_per_s\": " + pdc::obs::json_number(records_per_s);
+  row += "}\n";
+  if (std::FILE* f = std::fopen(path, "ab")) {
+    std::fwrite(row.data(), 1, row.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench: cannot append to PDC_BENCH_JSON=%s\n", path);
+  }
+}
+
+/// Best-of-`reps` records/s for `body(records)`; the sink defeats
+/// dead-code elimination of the prediction loops.
+template <typename Body>
+double best_rps(int reps, std::uint64_t records, Body&& body,
+                std::uint64_t* sink) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    *sink += body();
+    const double dt = now_s() - t0;
+    if (dt > 0.0) {
+      best = std::max(best, static_cast<double>(records) / dt);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n_train = scaled(2'000'000);
+  const std::uint64_t n_serve = scaled(200'000);
+  constexpr int kReps = 3;
+  constexpr std::size_t kBatch = 2048;
+
+  // Label noise keeps purity from stopping growth early, so the trained
+  // tree is deep and wide enough that serving cost is dominated by the
+  // descent (the regime the compiled layer exists for), not by a handful
+  // of cache-resident nodes.
+  AgrawalGenerator gen({.function = 2, .seed = 404, .label_noise = 0.1});
+  const auto train = gen.make_range(0, n_train);
+  CloudsConfig ccfg;
+  ccfg.purity_stop = 0.999;
+  ccfg.max_depth = 40;
+  const DecisionTree tree = CloudsBuilder{ccfg}.build(train);
+  const CompiledTree compiled = CompiledTree::compile(tree);
+
+  AgrawalGenerator fresh_gen({.function = 2, .seed = 505});
+  const auto fresh = fresh_gen.make_range(0, n_serve);
+  const auto block = RecordBlock::from_records(fresh);
+
+  std::printf("Serve throughput: %llu fresh records, tree of %zu nodes "
+              "(depth %d), %u hardware threads\n\n",
+              static_cast<unsigned long long>(n_serve),
+              compiled.node_count(), compiled.depth(), hw_threads());
+
+  std::uint64_t sink = 0;
+
+  const double rps_interp = best_rps(
+      kReps, n_serve,
+      [&] {
+        std::uint64_t acc = 0;
+        for (const Record& r : fresh) {
+          acc += static_cast<std::uint64_t>(tree.classify(r));
+        }
+        return acc;
+      },
+      &sink);
+  emit_row("serve/interp", "interpreted", 1, n_serve, 0.0, rps_interp);
+  std::printf("%-24s %12.0f records/s\n", "interpreted", rps_interp);
+
+  const double rps_single = best_rps(
+      kReps, n_serve,
+      [&] {
+        std::uint64_t acc = 0;
+        for (const Record& r : fresh) {
+          acc += static_cast<std::uint64_t>(compiled.predict(r));
+        }
+        return acc;
+      },
+      &sink);
+  emit_row("serve/compiled/single", "compiled-single", 1, n_serve, 0.0,
+           rps_single);
+  std::printf("%-24s %12.0f records/s (%.1fx interp)\n", "compiled single",
+              rps_single, rps_single / rps_interp);
+
+  std::vector<std::int8_t> out(block.size());
+  const double rps_batch = best_rps(
+      kReps, n_serve,
+      [&] {
+        compiled.predict_block(block, out);
+        return static_cast<std::uint64_t>(out[0]);
+      },
+      &sink);
+  emit_row("serve/compiled/batch", "compiled-batch", 1, n_serve, 0.0,
+           rps_batch);
+  std::printf("%-24s %12.0f records/s (%.1fx interp)\n", "compiled batch",
+              rps_batch, rps_batch / rps_interp);
+
+  // Replica scaling through the real server + closed-loop load generator.
+  std::printf("\n");
+  double rps_r1 = 0.0;
+  for (const int r : {1, 2, 4}) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      pdc::serve::Server server(
+          compiled, {.replicas = r,
+                     .queue_capacity = 4 * static_cast<std::size_t>(r)});
+      pdc::serve::LoadGenConfig cfg;
+      cfg.requests = n_serve / kBatch;
+      cfg.batch_records = kBatch;
+      cfg.window = 2 * static_cast<std::size_t>(r);
+      cfg.seed = 505;
+      const auto report = pdc::serve::run_loadgen(server, compiled, cfg);
+      server.shutdown();
+      best = std::max(best, report.records_per_s);
+    }
+    if (r == 1) rps_r1 = best;
+    emit_row("serve/replicas/r=" + std::to_string(r), "served", r,
+             n_serve, 0.0, best);
+    std::printf("served, %d replica%-3s %12.0f records/s (%.2fx r=1)\n", r,
+                r == 1 ? ":" : "s:", best, best / rps_r1);
+  }
+
+  std::printf("\n(sink %llu)\n", static_cast<unsigned long long>(sink));
+  return 0;
+}

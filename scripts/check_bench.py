@@ -31,10 +31,20 @@ Two standalone modes guard the voting combiner:
     budgets the differential suite asserts, re-checked here so bench CI
     fails if the approximation quietly degrades.
 
+--serve BENCH.jsonl
+    Over the serve/* rows from bench/serve_throughput: the compiled batch
+    evaluator must deliver >= 5x the interpreted single-thread throughput,
+    and replica scaling must hold >= 0.7 efficiency at 4 replicas.
+    Efficiency is normalized by min(4, hw_threads) from the rows
+    themselves, so the 4-replica point degrades to a
+    contention-not-collapse check on hosts with fewer than 4 cores
+    instead of demanding speedup the hardware cannot give.
+
 Usage:
     python3 scripts/check_bench.py sync.jsonl pipelined.jsonl [profiled.jsonl]
     python3 scripts/check_bench.py --voting BENCH.jsonl
     python3 scripts/check_bench.py --drift DRIFT.json
+    python3 scripts/check_bench.py --serve BENCH.jsonl
 """
 
 import json
@@ -45,6 +55,8 @@ TOLERANCE = 1.001  # allow 0.1% modeled-time noise
 CLOSURE_TOL = 1e-9
 DRIFT_MAX_MEAN_ACC_DELTA = 0.005  # 0.5 accuracy points
 DRIFT_MIN_AGREEMENT_K2 = 0.95
+SERVE_MIN_COMPILED_SPEEDUP = 5.0
+SERVE_MIN_REPLICA_EFFICIENCY = 0.7
 
 
 def load(path):
@@ -206,9 +218,60 @@ def check_drift(path):
     return failures
 
 
+def check_serve(path):
+    """Compiled-speedup + replica-efficiency gates over serve/* rows."""
+    rows = load(path)
+    serve = {k: r for k, r in rows.items() if k.startswith("serve/")}
+    if not serve:
+        return [f"--serve: no serve/* rows in {path}"]
+
+    failures = []
+    required = ("serve/interp", "serve/compiled/batch",
+                "serve/replicas/r=1", "serve/replicas/r=4")
+    missing = [k for k in required if k not in serve]
+    if missing:
+        return [f"--serve: missing rows: {missing}"]
+
+    print(f"{'label':28s} {'threads':>7s} {'records/s':>14s}")
+    for label in sorted(serve):
+        r = serve[label]
+        print(f"{label:28s} {r['threads']:7d} {r['records_per_s']:14.0f}")
+
+    interp = serve["serve/interp"]["records_per_s"]
+    batch = serve["serve/compiled/batch"]["records_per_s"]
+    if interp <= 0:
+        return ["--serve: interpreted throughput is zero"]
+    speedup = batch / interp
+    print(f"\ncompiled-batch speedup over interpreted: {speedup:.2f}x "
+          f"(gate {SERVE_MIN_COMPILED_SPEEDUP}x)")
+    if speedup < SERVE_MIN_COMPILED_SPEEDUP:
+        failures.append(
+            f"--serve: compiled batch {batch:.0f} rec/s is only "
+            f"{speedup:.2f}x interpreted {interp:.0f} rec/s "
+            f"(gate {SERVE_MIN_COMPILED_SPEEDUP}x)")
+
+    # Replica efficiency at r=4, normalized by the cores the host can
+    # actually give (hw_threads travels in the rows): on a 1-core host the
+    # gate only requires that running 4 replicas is not >30% worse than 1.
+    r1 = serve["serve/replicas/r=1"]["records_per_s"]
+    r4 = serve["serve/replicas/r=4"]["records_per_s"]
+    hw = serve["serve/replicas/r=4"].get("hw_threads", 1)
+    usable = min(4, max(1, hw))
+    eff = r4 / (usable * r1) if r1 > 0 else 0.0
+    print(f"replica efficiency at r=4: {eff:.2f} over {usable} usable "
+          f"core(s) (gate {SERVE_MIN_REPLICA_EFFICIENCY})")
+    if eff < SERVE_MIN_REPLICA_EFFICIENCY:
+        failures.append(
+            f"--serve: 4-replica efficiency {eff:.2f} below "
+            f"{SERVE_MIN_REPLICA_EFFICIENCY} (r1={r1:.0f}, r4={r4:.0f}, "
+            f"hw_threads={hw})")
+    return failures
+
+
 def run_flag_mode(flag, path):
-    failures = (check_voting(path) if flag == "--voting"
-                else check_drift(path))
+    checks = {"--voting": check_voting, "--drift": check_drift,
+              "--serve": check_serve}
+    failures = checks[flag](path)
     if failures:
         print("\ncheck_bench: FAIL", file=sys.stderr)
         for f in failures:
@@ -219,7 +282,8 @@ def run_flag_mode(flag, path):
 
 
 def main() -> int:
-    if len(sys.argv) == 3 and sys.argv[1] in ("--voting", "--drift"):
+    if len(sys.argv) == 3 and sys.argv[1] in ("--voting", "--drift",
+                                              "--serve"):
         return run_flag_mode(sys.argv[1], sys.argv[2])
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)

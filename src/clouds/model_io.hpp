@@ -42,6 +42,19 @@ inline void save_tree(const DecisionTree& tree,
   if (!ok) throw std::runtime_error("save_tree: short write " + path.string());
 }
 
+/// Reads a model file's leading magic (0 on a missing/short file), so
+/// callers that accept both interpreted trees ("pdcT") and compiled serve
+/// blobs (serve/compiled_tree.hpp) can dispatch without trial parsing.
+inline std::uint32_t peek_model_magic(const std::filesystem::path& path) {
+  // pdc: io-wrapper(model persistence at the run boundary, outside the modeled timeline)
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return 0;
+  std::uint32_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1) magic = 0;
+  std::fclose(f);
+  return magic;
+}
+
 inline DecisionTree load_tree(const std::filesystem::path& path) {
   // pdc: io-wrapper(model persistence at the run boundary, outside the modeled timeline)
   std::FILE* f = std::fopen(path.c_str(), "rb");

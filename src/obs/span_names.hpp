@@ -58,6 +58,10 @@ inline constexpr std::string_view kDiskReadAsync = "disk_read_async";
 inline constexpr std::string_view kDiskWriteAsync = "disk_write_async";
 inline constexpr std::string_view kDiskRetryBackoff = "disk_retry_backoff";
 
+// ------------------------------------------------- serving (pdc::serve) ---
+inline constexpr std::string_view kServeBatch = "serve.batch";
+inline constexpr std::string_view kServeSwap = "serve.swap";
+
 // ----------------------------------------------------instant markers ---
 inline constexpr std::string_view kLockstepDivergence = "lockstep.divergence";
 inline constexpr std::string_view kClockReset = "clock-reset";
@@ -82,7 +86,8 @@ inline constexpr std::string_view kAll[] = {
     kBroadcast,      kAllReduce,      kAllReduceVec,
     kPrefixSum,      kMinLoc,         kAllToAll,
     kDiskRead,       kDiskWrite,      kDiskReadAsync,
-    kDiskWriteAsync, kDiskRetryBackoff, kLockstepDivergence,
+    kDiskWriteAsync, kDiskRetryBackoff, kServeBatch,
+    kServeSwap,      kLockstepDivergence,
     kClockReset,     kCritCompute,    kCritComm,
     kCritIo,         kCritIdle,
 };

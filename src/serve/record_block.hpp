@@ -1,0 +1,79 @@
+#pragma once
+
+// Struct-of-arrays record block: the unit of work the serving layer moves
+// around.  The training side streams arrays-of-structs (data::Record) off
+// disk because that is how the paper's out-of-core passes consume them;
+// the serving side wants the transpose — one contiguous column per
+// attribute — so the batch evaluator reads each attribute with unit
+// stride and the compiler can keep several descents in flight at once.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/record.hpp"
+
+namespace pdc::serve {
+
+class RecordBlock {
+ public:
+  RecordBlock() = default;
+
+  std::size_t size() const { return num_[0].size(); }
+  bool empty() const { return size() == 0; }
+
+  void reserve(std::size_t n) {
+    for (auto& col : num_) col.reserve(n);
+    for (auto& col : cat_) col.reserve(n);
+    label_.reserve(n);
+  }
+
+  void push_back(const data::Record& r) {
+    for (int a = 0; a < data::kNumNumeric; ++a) {
+      num_[static_cast<std::size_t>(a)].push_back(
+          r.num[static_cast<std::size_t>(a)]);
+    }
+    for (int a = 0; a < data::kNumCategorical; ++a) {
+      cat_[static_cast<std::size_t>(a)].push_back(
+          r.cat[static_cast<std::size_t>(a)]);
+    }
+    label_.push_back(r.label);
+  }
+
+  static RecordBlock from_records(std::span<const data::Record> records) {
+    RecordBlock out;
+    out.reserve(records.size());
+    for (const auto& r : records) out.push_back(r);
+    return out;
+  }
+
+  /// Reassembles row `i` (oracle comparisons, not the hot path).
+  data::Record record(std::size_t i) const {
+    data::Record r{};
+    for (int a = 0; a < data::kNumNumeric; ++a) {
+      r.num[static_cast<std::size_t>(a)] = num_[static_cast<std::size_t>(a)][i];
+    }
+    for (int a = 0; a < data::kNumCategorical; ++a) {
+      r.cat[static_cast<std::size_t>(a)] = cat_[static_cast<std::size_t>(a)][i];
+    }
+    r.label = label_[i];
+    return r;
+  }
+
+  std::span<const float> num(int attr) const {
+    return num_[static_cast<std::size_t>(attr)];
+  }
+  std::span<const std::int8_t> cat(int attr) const {
+    return cat_[static_cast<std::size_t>(attr)];
+  }
+  std::span<const std::int8_t> labels() const { return label_; }
+
+ private:
+  std::array<std::vector<float>, data::kNumNumeric> num_;
+  std::array<std::vector<std::int8_t>, data::kNumCategorical> cat_;
+  std::vector<std::int8_t> label_;
+};
+
+}  // namespace pdc::serve

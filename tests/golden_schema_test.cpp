@@ -30,7 +30,11 @@
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "clouds/builder.hpp"
 #include "pclouds/pclouds.hpp"
+#include "serve/compiled_tree.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 
 #ifndef PDC_GOLDEN_DIR
 #error "PDC_GOLDEN_DIR must point at the checked-in golden files"
@@ -256,6 +260,26 @@ TEST(GoldenSchema2, DriftReportKeyStructureMatchesGolden) {
   report.node_cells.push_back(cell);
   report.tree_runs.push_back({2, 4, 2, 0.98, 0.979});
   check_against_golden(report.to_json().dump(), "drift.golden.json");
+}
+
+// The serving artifact (pdc.serve_report.v1) is pinned the same way: one
+// tiny served run through the real server + load generator, shape-compared
+// so the CLI/bench/check_bench.py --serve consumers notice schema drift.
+TEST(GoldenSchema2, ServeReportKeyStructureMatchesGolden) {
+  data::AgrawalGenerator gen({.function = 2, .seed = 3});
+  const auto train = gen.make_range(0, 1500);
+  clouds::CloudsBuilder builder{clouds::CloudsConfig{}};
+  const auto model = serve::CompiledTree::compile(builder.build(train));
+
+  serve::Server server(model, {.replicas = 2, .queue_capacity = 4});
+  serve::LoadGenConfig cfg;
+  cfg.requests = 8;
+  cfg.batch_records = 64;
+  cfg.window = 4;
+  cfg.swap_every = 3;  // exercise the hot-swap fields
+  const auto report = serve::run_loadgen(server, model, cfg);
+  server.shutdown();
+  check_against_golden(report.to_json(), "serve_report.golden.json");
 }
 
 TEST(GoldenShape, CollapsesDynamicMapsAndArrays) {

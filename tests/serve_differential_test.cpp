@@ -1,0 +1,221 @@
+// Differential oracle suite for the serving layer: across 100 trained-tree
+// instances (pCLOUDS at p in {1,4,8} x Agrawal functions {1,2,3,5,7}, plus
+// seeded random sequential CLOUDS configurations) and the degenerate
+// shapes (single leaf, one-sided chains, max-depth cut-offs), compiled
+// single-record descent, compiled batch evaluation, and multi-replica
+// served predictions must be byte-identical to the interpreted
+// DecisionTree oracle on fresh records.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "data/dataset.hpp"
+#include "io/scratch.hpp"
+#include "mp/runtime.hpp"
+#include "pclouds/pclouds.hpp"
+#include "serve/compiled_tree.hpp"
+#include "serve/record_block.hpp"
+#include "serve/server.hpp"
+
+namespace pdc::serve {
+namespace {
+
+using clouds::CloudsBuilder;
+using clouds::CloudsConfig;
+using clouds::DecisionTree;
+using clouds::Split;
+using data::AgrawalGenerator;
+using data::Record;
+
+/// Asserts that all three serving paths reproduce the interpreted oracle
+/// byte-for-byte on `fresh`.
+void expect_all_paths_identical(const DecisionTree& tree,
+                                std::span<const Record> fresh,
+                                const std::string& what) {
+  const auto compiled = CompiledTree::compile(tree);
+
+  std::vector<std::int8_t> oracle(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    oracle[i] = tree.classify(fresh[i]);
+  }
+
+  // Path 1: compiled single-record predicated descent.
+  std::vector<std::int8_t> single(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    single[i] = compiled.predict(fresh[i]);
+  }
+  ASSERT_EQ(single, oracle) << what << ": single-record descent diverged";
+
+  // Path 2: compiled batch evaluation over the SoA block.
+  const auto block = RecordBlock::from_records(fresh);
+  std::vector<std::int8_t> batched(fresh.size());
+  compiled.predict_block(block, batched);
+  ASSERT_EQ(batched, oracle) << what << ": batch evaluation diverged";
+
+  // Path 3: multi-replica server; responses reassembled in request order.
+  Server server(compiled, {.replicas = 3, .queue_capacity = 4});
+  constexpr std::size_t kBatch = 512;
+  std::deque<std::future<BatchResult>> pending;
+  std::vector<std::int8_t> served;
+  served.reserve(fresh.size());
+  for (std::size_t base = 0; base < fresh.size(); base += kBatch) {
+    const std::size_t n = std::min(kBatch, fresh.size() - base);
+    pending.push_back(
+        server.submit(RecordBlock::from_records(fresh.subspan(base, n))));
+  }
+  while (!pending.empty()) {
+    const auto res = pending.front().get();
+    pending.pop_front();
+    served.insert(served.end(), res.labels.begin(), res.labels.end());
+  }
+  server.shutdown();
+  ASSERT_EQ(served, oracle) << what << ": served predictions diverged";
+}
+
+std::vector<Record> fresh_records(std::size_t n, std::uint64_t seed,
+                                  int function) {
+  AgrawalGenerator gen({.function = function, .seed = seed});
+  return gen.make_range(0, n);
+}
+
+/// Trains one pCLOUDS tree at processor count `p` (replicas are identical
+/// across ranks; rank 0's copy is returned).
+DecisionTree train_pclouds(int p, int function, std::uint64_t seed) {
+  io::ScratchArena arena("serve_diff", p);
+  mp::Runtime rt(p);
+  AgrawalGenerator gen({.function = function, .seed = seed});
+  data::DatasetPartition part(4000, p);
+  data::Sampler sampler(0.05, 99);
+
+  DecisionTree out;
+  std::mutex mu;
+  pclouds::PcloudsConfig cfg;
+  cfg.clouds.q_root = 200;
+  rt.run([&](mp::Comm& comm) {
+    io::LocalDisk disk(arena.rank_dir(comm.rank()), &comm.cost(),
+                       &comm.clock());
+    data::materialize_local_slice(gen, part, comm.rank(), disk, "train.dat",
+                                  1024);
+    const auto sample =
+        data::draw_local_sample(gen, part, sampler, comm.rank());
+    auto tree = pclouds::pclouds_train(comm, cfg, disk, "train.dat", sample);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      out = std::move(tree);
+    }
+  });
+  return out;
+}
+
+// 15 instances: the full p x function training matrix, 10k fresh records.
+TEST(ServeDifferential, PcloudsMatrix) {
+  int instance = 0;
+  for (const int p : {1, 4, 8}) {
+    for (const int function : {1, 2, 3, 5, 7}) {
+      SCOPED_TRACE("p=" + std::to_string(p) +
+                   " function=" + std::to_string(function));
+      const auto tree = train_pclouds(
+          p, function, 100 + static_cast<std::uint64_t>(instance));
+      const auto fresh = fresh_records(
+          10000, 9000 + static_cast<std::uint64_t>(instance), function);
+      expect_all_paths_identical(
+          tree, fresh, "pclouds p=" + std::to_string(p) +
+                           " f=" + std::to_string(function));
+      ++instance;
+    }
+  }
+  EXPECT_EQ(instance, 15);
+}
+
+// 85 instances: seeded random sequential CLOUDS configurations (varying
+// function, training size, discretization width, depth cut-off, label
+// noise) against 2k fresh records each — with the matrix above, 100
+// trained-tree instances in total.
+TEST(ServeDifferential, RandomTrainedInstances) {
+  constexpr int kInstances = 85;
+  const int functions[] = {1, 2, 3, 5, 7};
+  std::mt19937_64 rng(0x5EEDED);
+  for (int i = 0; i < kInstances; ++i) {
+    const int function = functions[i % 5];
+    const std::size_t n =
+        std::uniform_int_distribution<std::size_t>(500, 4000)(rng);
+    CloudsConfig cfg;
+    cfg.q_root = std::uniform_int_distribution<int>(50, 400)(rng);
+    cfg.max_depth = std::uniform_int_distribution<int>(3, 24)(rng);
+    const double noise = (i % 3 == 0) ? 0.1 : 0.0;
+    AgrawalGenerator gen(
+        {.function = function,
+         .seed = 1000 + static_cast<std::uint64_t>(i),
+         .label_noise = noise});
+    const auto train = gen.make_range(0, n);
+    CloudsBuilder builder{cfg};
+    const auto tree = builder.build(train);
+    SCOPED_TRACE("instance=" + std::to_string(i) +
+                 " function=" + std::to_string(function));
+    const auto fresh = fresh_records(
+        2000, 5000 + static_cast<std::uint64_t>(i), function);
+    expect_all_paths_identical(tree, fresh,
+                               "random instance " + std::to_string(i));
+  }
+}
+
+// ------------------------------------------------ degenerate tree shapes ---
+
+TEST(ServeDifferential, SingleLeaf) {
+  DecisionTree tree(data::ClassCounts{{{2, 7}}});
+  const auto fresh = fresh_records(10000, 77, 2);
+  expect_all_paths_identical(tree, fresh, "single leaf");
+}
+
+/// A one-sided chain: every split hangs off the same side, `depth` levels
+/// deep — the worst case for the level-synchronous batch descent (one lane
+/// stays live to the bottom while the rest park early).
+DecisionTree chain_tree(int depth, bool leftward) {
+  DecisionTree tree(data::ClassCounts{{{5, 5}}});
+  std::int32_t at = tree.root();
+  for (int d = 0; d < depth; ++d) {
+    Split s;
+    s.kind = Split::Kind::kNumeric;
+    s.attr = static_cast<std::int8_t>(d % data::kNumNumeric);
+    // Thresholds march outward so deeper nodes stay reachable.
+    s.threshold = leftward ? (100.0f - static_cast<float>(d))
+                           : (-100.0f + static_cast<float>(d));
+    const auto [l, r] = tree.grow(at, s, data::ClassCounts{{{4, 1}}},
+                                  data::ClassCounts{{{1, 4}}});
+    at = leftward ? l : r;
+  }
+  return tree;
+}
+
+TEST(ServeDifferential, OneSidedChains) {
+  const auto fresh = fresh_records(10000, 88, 2);
+  expect_all_paths_identical(chain_tree(50, true), fresh, "left chain");
+  expect_all_paths_identical(chain_tree(50, false), fresh, "right chain");
+}
+
+TEST(ServeDifferential, MaxDepthCutoff) {
+  // Deep trees truncated by the builder's depth cut-off.
+  for (const int max_depth : {1, 2, 24}) {
+    CloudsConfig cfg;
+    cfg.max_depth = max_depth;
+    AgrawalGenerator gen({.function = 2, .seed = 31, .label_noise = 0.2});
+    const auto train = gen.make_range(0, 4000);
+    CloudsBuilder builder{cfg};
+    const auto tree = builder.build(train);
+    EXPECT_LE(tree.max_depth(), max_depth);
+    const auto fresh = fresh_records(10000, 99, 2);
+    expect_all_paths_identical(
+        tree, fresh, "max_depth=" + std::to_string(max_depth));
+  }
+}
+
+}  // namespace
+}  // namespace pdc::serve

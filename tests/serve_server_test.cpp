@@ -1,0 +1,213 @@
+// Concurrency tests for pdc::serve::Server, run under TSan in CI: hot-swap
+// during sustained load never yields a torn model (every response's labels
+// match exactly the model its version tag names), served versions only
+// move forward per replica, the queue drains on shutdown, and a seeded
+// kill-during-swap leaves every response scored by exactly the old or the
+// new model — never a mix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "clouds/builder.hpp"
+#include "data/agrawal.hpp"
+#include "serve/compiled_tree.hpp"
+#include "serve/record_block.hpp"
+#include "serve/server.hpp"
+
+namespace pdc::serve {
+namespace {
+
+using clouds::CloudsBuilder;
+using clouds::CloudsConfig;
+using data::AgrawalGenerator;
+using data::Record;
+
+CompiledTree trained_model(int function, std::uint64_t seed) {
+  AgrawalGenerator gen({.function = function, .seed = seed});
+  const auto train = gen.make_range(0, 3000);
+  CloudsBuilder builder{CloudsConfig{}};
+  return CompiledTree::compile(builder.build(train));
+}
+
+/// Batch `i` of the deterministic request stream.
+RecordBlock batch_records(std::size_t i, std::size_t n = 256) {
+  AgrawalGenerator gen({.function = 2, .seed = 4242});
+  const auto records = gen.make_range(i * n, (i + 1) * n);
+  return RecordBlock::from_records(records);
+}
+
+std::vector<std::int8_t> expected_labels(const CompiledTree& model,
+                                         std::size_t batch,
+                                         std::size_t n = 256) {
+  const auto block = batch_records(batch, n);
+  std::vector<std::int8_t> out(block.size());
+  model.predict_block(block, out);
+  return out;
+}
+
+TEST(ServeServer, HotSwapUnderLoadNeverTorn) {
+  // Two behaviourally different models; versions alternate A, B, A, ...
+  const auto model_a = trained_model(2, 7);
+  const auto model_b = trained_model(5, 7);
+  ASSERT_FALSE(model_a == model_b);
+
+  constexpr std::size_t kBatches = 160;
+  constexpr int kSwaps = 40;
+  // Distinct expectation tables per batch index, one per model.
+  std::vector<std::vector<std::int8_t>> want_a(kBatches), want_b(kBatches);
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    want_a[i] = expected_labels(model_a, i);
+    want_b[i] = expected_labels(model_b, i);
+  }
+
+  Server server(model_a, {.replicas = 3, .queue_capacity = 8});
+
+  struct Tagged {
+    std::size_t batch;
+    std::future<BatchResult> fut;
+  };
+  std::deque<Tagged> done;
+  std::thread client([&] {
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      done.push_back({i, server.submit(batch_records(i))});
+    }
+  });
+  for (int s = 0; s < kSwaps; ++s) {
+    server.hot_swap(s % 2 == 0 ? model_b : model_a);
+    std::this_thread::yield();
+  }
+  client.join();
+  server.shutdown();
+
+  std::size_t served_by_b = 0;
+  for (auto& t : done) {
+    const BatchResult res = t.fut.get();
+    // Version tag names the model; the labels must match it exactly —
+    // a torn read would produce a mix matching neither table.
+    const bool is_b = res.model_version % 2 == 1;
+    served_by_b += is_b ? 1u : 0u;
+    ASSERT_EQ(res.labels, is_b ? want_b[t.batch] : want_a[t.batch])
+        << "batch " << t.batch << " version " << res.model_version
+        << " labels do not match the model its version names";
+    ASSERT_LE(res.model_version, static_cast<std::uint64_t>(kSwaps));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, kBatches);
+  EXPECT_EQ(stats.swaps, static_cast<std::uint64_t>(kSwaps));
+  for (const ReplicaStats& rs : stats.replicas) {
+    EXPECT_TRUE(rs.version_monotonic)
+        << "replica " << rs.replica << " served a version that moved backward";
+    EXPECT_LE(rs.min_version, rs.max_version);
+  }
+  EXPECT_EQ(stats.records, kBatches * 256);
+  (void)served_by_b;
+}
+
+TEST(ServeServer, QueueDrainsOnShutdown) {
+  const auto model = trained_model(2, 11);
+  Server server(model, {.replicas = 1, .queue_capacity = 4});
+
+  constexpr std::size_t kBatches = 32;
+  std::vector<std::future<BatchResult>> futs;
+  std::thread client([&] {
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      futs.push_back(server.submit(batch_records(i, 64)));
+    }
+  });
+  client.join();
+  server.shutdown();
+
+  // Every accepted request got a response before the workers joined.
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    const BatchResult res = futs[i].get();
+    EXPECT_EQ(res.labels.size(), 64u);
+    EXPECT_EQ(res.model_version, 0u);
+  }
+  EXPECT_EQ(server.stats().requests, kBatches);
+}
+
+TEST(ServeServer, SubmitAfterShutdownThrows) {
+  Server server(trained_model(2, 13), {.replicas = 2});
+  server.shutdown();
+  EXPECT_THROW((void)server.submit(batch_records(0, 8)), std::runtime_error);
+}
+
+TEST(ServeServer, HotSwapAfterShutdownStillVersions) {
+  Server server(trained_model(2, 17), {.replicas = 2});
+  server.shutdown();
+  EXPECT_EQ(server.version(), 0u);
+  EXPECT_EQ(server.hot_swap(trained_model(5, 17)), 1u);
+  EXPECT_EQ(server.version(), 1u);
+}
+
+// Seeded kill-during-swap: a client streams batches, a controller swaps at
+// a seeded point and immediately shuts the server down (the "kill").  Every
+// response that made it in must be scored by exactly the old or the new
+// model, with the version tag telling which.
+TEST(ServeServer, KillDuringSwapServesOldOrNewNeverMix) {
+  const auto model_a = trained_model(2, 19);
+  const auto model_b = trained_model(5, 19);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937_64 rng(seed);
+    const std::size_t swap_after =
+        std::uniform_int_distribution<std::size_t>(2, 24)(rng);
+
+    Server server(model_a, {.replicas = 2, .queue_capacity = 4});
+
+    struct Tagged {
+      std::size_t batch;
+      std::future<BatchResult> fut;
+    };
+    std::deque<Tagged> accepted;
+    std::atomic<std::size_t> submitted{0};
+    std::thread client([&] {
+      for (std::size_t i = 0; i < 2000; ++i) {
+        try {
+          auto fut = server.submit(batch_records(i, 64));
+          accepted.push_back({i, std::move(fut)});
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          return;  // shutdown raced the submit: the kill landed
+        }
+      }
+    });
+
+    // Controller: wait until the stream is flowing, swap, kill.
+    while (submitted.load(std::memory_order_relaxed) < swap_after) {
+      std::this_thread::yield();
+    }
+    server.hot_swap(model_b);
+    server.shutdown();
+    client.join();
+
+    for (auto& t : accepted) {
+      const BatchResult res = t.fut.get();
+      ASSERT_LE(res.model_version, 1u);
+      const auto want = res.model_version == 0
+                            ? expected_labels(model_a, t.batch, 64)
+                            : expected_labels(model_b, t.batch, 64);
+      // A response scored by a half-swapped model would match neither
+      // table; equality with the version's own table rules out any mix.
+      ASSERT_EQ(res.labels, want)
+          << "seed " << seed << " batch " << t.batch << " version "
+          << res.model_version;
+    }
+    const ServerStats stats = server.stats();
+    for (const ReplicaStats& rs : stats.replicas) {
+      EXPECT_TRUE(rs.version_monotonic) << "seed " << seed;
+      EXPECT_LE(rs.max_version, 1u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdc::serve
