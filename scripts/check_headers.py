@@ -6,6 +6,13 @@ twice — the second include also exercises the include guard) with the
 project's warning set.  A header that leans on whatever its includer
 happened to pull in breaks here instead of in a later refactor.
 
+The concurrency wrapper headers (common/thread_annotations.hpp and
+common/sync.hpp) are additionally compiled with clang++ under
+-Wthread-safety -Werror when clang++ is on PATH: the annotation macros
+expand to real attributes only under Clang, so the g++ pass alone would
+never parse them.  When clang++ is absent the extra pass is skipped with
+a note (CI installs clang, so the gate is real there).
+
 Keeps a content-hash result cache so unchanged headers cost nothing (CI
 keys an actions/cache on the cache directory), and runs headers in
 parallel.
@@ -34,6 +41,14 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 FLAGS = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra", "-Wshadow",
          "-Wconversion", "-Werror"]
+
+# Headers whose annotations only expand under Clang; these get a second
+# standalone compile with the thread-safety analysis as errors.
+THREAD_SAFETY_HEADERS = (
+    "src/common/thread_annotations.hpp",
+    "src/common/sync.hpp",
+)
+CLANG_TS_FLAGS = ("-Wthread-safety", "-Werror=thread-safety")
 
 
 def find_headers(paths):
@@ -86,17 +101,36 @@ def main(argv=None) -> int:
     if not gxx:
         print("check_headers: g++ not found", file=sys.stderr)
         return 2
+    clangxx = shutil.which("clang++")
 
-    salt = (tool_version(gxx) + " ".join(FLAGS)).encode()
     if not args.no_cache:
         os.makedirs(args.cache_dir, exist_ok=True)
 
-    def check_one(header):
+    def norm(header):
+        return os.path.relpath(header, REPO_ROOT).replace(os.sep, "/")
+
+    # (header, compiler, extra flags, display tag); the clang pass runs
+    # only for the annotated wrapper headers, where -Wthread-safety has
+    # attributes to check.
+    jobs = [(h, gxx, (), "") for h in headers]
+    ts_headers = [h for h in headers if norm(h) in THREAD_SAFETY_HEADERS]
+    if clangxx:
+        jobs += [(h, clangxx, CLANG_TS_FLAGS, " [clang thread-safety]")
+                 for h in ts_headers]
+    elif ts_headers:
+        print("check_headers: clang++ not on PATH; skipping the "
+              "thread-safety compile of the annotated headers",
+              file=sys.stderr)
+
+    def check_one(job):
+        header, cxx, extra, tag = job
         rel = os.path.relpath(header, REPO_ROOT)
+        salt = (tool_version(cxx) + " ".join(FLAGS)
+                + " ".join(extra)).encode()
         key = cache_key(header, salt)
         marker = os.path.join(args.cache_dir, key + ".ok")
         if not args.no_cache and os.path.exists(marker):
-            return rel, 0, "(cached)"
+            return rel, tag, 0, "(cached)"
         tu = (f'#include "{header}"\n'
               f'#include "{header}"\n')  # include guard must hold
         with tempfile.NamedTemporaryFile("w", suffix=".cpp",
@@ -104,8 +138,8 @@ def main(argv=None) -> int:
             f.write(tu)
             tu_path = f.name
         try:
-            cmd = [gxx, *FLAGS, "-I", os.path.join(REPO_ROOT, "src"),
-                   tu_path]
+            cmd = [cxx, *FLAGS, *extra,
+                   "-I", os.path.join(REPO_ROOT, "src"), tu_path]
             proc = subprocess.run(cmd, capture_output=True, text=True,
                                   cwd=REPO_ROOT)
         finally:
@@ -113,19 +147,19 @@ def main(argv=None) -> int:
         if proc.returncode == 0 and not args.no_cache:
             with open(marker, "w", encoding="utf-8") as f:
                 f.write(rel + "\n")
-        return rel, proc.returncode, proc.stderr.strip()
+        return rel, tag, proc.returncode, proc.stderr.strip()
 
     failures = 0
     with ThreadPoolExecutor(max_workers=max(1, args.jobs)) as pool:
-        for rel, rc, output in pool.map(check_one, headers):
+        for rel, tag, rc, output in pool.map(check_one, jobs):
             status = "ok" if rc == 0 else "NOT SELF-SUFFICIENT"
-            tag = " (cached)" if output == "(cached)" else ""
-            print(f"check_headers {rel}: {status}{tag}")
+            cached = " (cached)" if output == "(cached)" else ""
+            print(f"check_headers {rel}{tag}: {status}{cached}")
             if rc != 0:
                 failures += 1
                 print(output)
-    print(f"check_headers: {len(headers)} header(s), {failures} "
-          "not self-sufficient", file=sys.stderr)
+    print(f"check_headers: {len(jobs)} compile(s) over {len(headers)} "
+          f"header(s), {failures} not self-sufficient", file=sys.stderr)
     return 1 if failures else 0
 
 

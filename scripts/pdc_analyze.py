@@ -28,6 +28,28 @@ before anything runs, with three interprocedural checks:
       the modeled timeline) carry `// pdc: io-wrapper(reason)` and are
       inventoried.
 
+  PDA400 unguarded-shared-field
+      A mutable field in a class that owns a lock, condition variable,
+      barrier, or thread handle, carrying neither PDC_GUARDED_BY nor a
+      std::atomic type.  Such classes are shared across threads by
+      construction, so every field must state its synchronization story.
+      Fields that are genuinely thread-confined (set before the threads
+      start, barrier-phased rendezvous slots) carry
+      `// pdc: unshared(reason)` — on the declaration line or in the
+      comment block immediately above it — and are inventoried.
+
+  PDA410 lock-order-cycle
+      A cycle in the static lock-acquisition graph.  Nodes are mutexes
+      (class-qualified: Server::queue_mu_), edges mean "acquired while
+      holding": mined from nested pdc::LockGuard scopes, PDC_REQUIRES
+      annotations, and calls to functions whose transitive acquisitions
+      are known.  An acyclic graph is a static deadlock-freedom proof
+      for the annotated layers; the graph itself is published in the
+      report's `lock_order` section.  Lambda bodies are invisible to the
+      miner (they run on other threads, under their own scopes), and
+      member calls through fields whose declared class has no matching
+      definition are dropped rather than merged by name.
+
 Frontends (mirrors scripts/run_tidy.py):
   * libclang, driven by compile_commands.json, when the python bindings
     are importable — sharpens PDA100 with AST-accurate branch scoping.
@@ -96,6 +118,13 @@ CHECKS = [
     Rule("PDA300", "uncharged-io",
          "raw I/O with no modeled-clock charge in the same function and "
          "no pdc: io-wrapper(reason) annotation", True),
+    Rule("PDA400", "unguarded-shared-field",
+         "mutable field in a lock/thread-owning class with neither "
+         "PDC_GUARDED_BY nor std::atomic nor a pdc: unshared(reason) "
+         "escape", True),
+    Rule("PDA410", "lock-order-cycle",
+         "lock acquisition that closes a cycle in the static "
+         "lock-order graph (potential deadlock)", True),
 ]
 
 # mp::Comm collective primitives (src/mp/comm.hpp).  `split` is matched
@@ -150,6 +179,7 @@ CHARGE_RE = re.compile(
 
 INCORE_RE = re.compile(r"pdc:\s*incore\(([^)]*)\)")
 IOWRAP_RE = re.compile(r"pdc:\s*io-wrapper\(([^)]*)\)")
+UNSHARED_RE = re.compile(r"pdc:\s*unshared\(([^)]*)\)")
 ALLOW_RE = re.compile(
     r"pdc-lint:\s*allow\(\s*(PDA\d{3})\s*\)\s*(--\s*\S.*)?")
 
@@ -190,6 +220,28 @@ class Function:
     body: str = ""
     calls: set = field(default_factory=set)
     has_collective: bool = False
+    qual: str = ""    # Cls for a `Cls::name` out-of-line definition
+    cls: str = ""     # enclosing class (qual, or by class extents)
+
+
+@dataclass
+class MemberDecl:
+    name: str
+    type: str
+    line: int         # first line of the declaration statement
+    guarded: bool     # carries PDC_GUARDED_BY/PDC_PT_GUARDED_BY
+    exempt: bool      # const, lockable, sync primitive, or atomic
+
+
+@dataclass
+class ClassModel:
+    name: str
+    path: str
+    start: int        # offset of the opening '{'
+    end: int          # offset just past the closing '}'
+    members: list = field(default_factory=list)
+    lockables: list = field(default_factory=list)   # mutex member names
+    triggered: bool = False    # owns a lock/condvar/barrier/thread
 
 
 @dataclass
@@ -202,6 +254,8 @@ class FileModel:
     bare_allows: list            # lines with reasonless allow()
     incore: dict                 # line -> reason
     iowrap: dict                 # line -> reason
+    unshared: dict = field(default_factory=dict)   # line -> reason
+    classes: list = field(default_factory=list)
 
 
 def match_paren(text: str, open_idx: int) -> int:
@@ -267,7 +321,8 @@ def extract_functions(rel: str, code: str):
             i += 1
             continue
         m = FUNC_HEAD_RE.search(head)
-        name = m.group(1).split("::")[-1] if m else ""
+        parts = m.group(1).split("::") if m else [""]
+        name = parts[-1]
         if not m or name in NON_FUNC_KEYWORDS:
             # Initializer list, array literal, control block...  skip the
             # brace itself but keep scanning inside it.
@@ -280,7 +335,7 @@ def extract_functions(rel: str, code: str):
         functions.append(Function(
             name=name, path=rel, start=i, end=end,
             start_line=start_line, end_line=end_line,
-            body=code[i:end]))
+            body=code[i:end], qual=parts[-2] if len(parts) > 1 else ""))
         i = end
         seg_start = end
     return functions
@@ -307,10 +362,22 @@ def load_file(path: str) -> FileModel:
         if m:
             iowrap[lineno] = m.group(1).strip()
 
-    return FileModel(path=rel, raw_lines=raw_lines, code=code,
-                     functions=extract_functions(rel, code),
-                     allowed=allowed, bare_allows=bare,
-                     incore=incore, iowrap=iowrap)
+    # unshared(...) escapes wrap across comment lines, so they are mined
+    # from the raw text ([^)] spans newlines) and keyed on the line the
+    # annotation starts; `//` continuations are scrubbed from the reason.
+    unshared = {}
+    for m in UNSHARED_RE.finditer(text):
+        reason = " ".join(re.sub(r"\s*//\s*", " ", m.group(1)).split())
+        unshared[text.count("\n", 0, m.start()) + 1] = reason
+
+    fm = FileModel(path=rel, raw_lines=raw_lines, code=code,
+                   functions=extract_functions(rel, code),
+                   allowed=allowed, bare_allows=bare,
+                   incore=incore, iowrap=iowrap, unshared=unshared)
+    fm.classes = extract_classes(rel, code)
+    for cls in fm.classes:
+        scan_class_members(cls, code)
+    return fm
 
 
 # --------------------------------------------------------------- PDA100 ---
@@ -584,6 +651,427 @@ def check_pda300(fm: FileModel, add, io_wrappers):
                 "pdc: io-wrapper(reason))")
 
 
+# ------------------------------------------------------ PDA400 / PDA410 ---
+
+# The annotated wrapper layer itself: its internals hold the raw
+# std::mutex and are excluded from lock mining and the member audit.
+SYNC_WRAPPER_FILE = "src/common/sync.hpp"
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:PDC_\w+\s*(?:\([^)]*\)\s*)?)?"
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?$")
+
+# Mutex-like member types (the annotated wrapper and the raw std types).
+LOCKABLE_TYPE_RE = re.compile(
+    r"^(?:pdc::)?Mutex$|^std::(?:recursive_|shared_|timed_|"
+    r"recursive_timed_)?mutex$")
+# Synchronization primitives that are exempt from the guarded-field audit
+# but mark the owning class as thread-shared.
+SYNC_TYPE_RE = re.compile(
+    r"^(?:pdc::)?(?:CondVar|CentralBarrier)$|"
+    r"^std::condition_variable(?:_any)?$|^std::once_flag$")
+THREAD_TYPE_RE = re.compile(r"\bstd::j?thread\b")
+
+MEMBER_DECL_RE = re.compile(
+    r"^(?:mutable\s+)?(?P<const>const\s+)?(?:mutable\s+)?"
+    r"(?P<type>[A-Za-z_][\w:]*(?:<.*?>)?(?:\s*[*&])*)"
+    r"\s+(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?P<tail>(?:PDC_(?:PT_)?GUARDED_BY\s*\([^)]*\))?"
+    r"\s*(?:=.*|\{\}.*)?)$")
+MEMBER_SKIP_RE = re.compile(
+    r"\b(?:using|typedef|friend|static|template|operator|enum|class|"
+    r"struct|union)\b")
+
+# RAII acquisition: the annotated LockGuard or a raw std guard (fixtures
+# and any stragglers PDC008 has not caught yet).
+ACQUIRE_RE = re.compile(
+    r"\b(?:std\s*::\s*|pdc\s*::\s*)?"
+    r"(?:LockGuard|lock_guard|unique_lock|scoped_lock)\s*"
+    r"(?:<[^;(]*>)?\s+\w+\s*[({]\s*([^;(){}]*?)\s*[)}]")
+REQUIRES_RE = re.compile(
+    r"([A-Za-z_][\w:]*)\s*\([^()]*(?:\([^()]*\)[^()]*)*\)\s*"
+    r"(?:const\s*)?PDC_REQUIRES\s*\(([^()]*)\)")
+LVALUE_PATH_RE = re.compile(
+    r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*")
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?"
+    r"(?:noexcept\b\s*)?(?:->\s*[\w:<>&*\s]+)?\{")
+MEMBER_CALL_RE = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(?:\.|->)\s*)?\b([A-Za-z_]\w*)\s*"
+    r"(?:<[^;(]*>)?\s*\(")
+
+
+def extract_classes(rel: str, code: str):
+    """Named class/struct extents over stripped text, nested included
+    (the walk descends into every block, mirroring extract_functions)."""
+    classes = []
+    i = 0
+    n = len(code)
+    seg_start = 0
+    while i < n:
+        c = code[i]
+        if c in ";}":
+            seg_start = i + 1
+            i += 1
+            continue
+        if c != "{":
+            i += 1
+            continue
+        head = code[seg_start:i].strip()
+        m = CLASS_HEAD_RE.search(head) if head else None
+        if m and not re.search(r"\benum\b", head):
+            classes.append(ClassModel(name=m.group(1), path=rel,
+                                      start=i, end=match_brace(code, i)))
+        seg_start = i + 1
+        i += 1
+    return classes
+
+
+def _mask_nested(body: str) -> str:
+    """Blank everything inside nested braces (method bodies, nested
+    classes), keeping the braces and newlines for offset/line math."""
+    out = []
+    depth = 0
+    for c in body:
+        if c == "{":
+            out.append("{")
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            out.append("}")
+        else:
+            out.append(c if depth <= 0 else ("\n" if c == "\n" else " "))
+    return "".join(out)
+
+
+def _class_statements(masked: str):
+    """(start_offset, text) of class-scope statements.  A brace block
+    followed by ';' is a brace initializer and stays in its statement;
+    any other block (inline method, nested class) ends one."""
+    stmts = []
+    buf = []
+    i = 0
+    start = 0
+    n = len(masked)
+    while i < n:
+        c = masked[i]
+        if c == ";":
+            stmts.append((start, "".join(buf)))
+            buf = []
+            start = i + 1
+            i += 1
+        elif c == "{":
+            j = match_brace(masked, i)
+            k = j
+            while k < n and masked[k] in " \t\n":
+                k += 1
+            if k < n and masked[k] == ";":
+                buf.append(" {} ")
+                i = j
+            else:
+                buf = []
+                start = j
+                i = j
+        else:
+            buf.append(c)
+            i += 1
+    return stmts
+
+
+def _base_type(t: str) -> str:
+    """`const std::deque<Request>&` -> `deque`: the class key a member
+    call through this field should be narrowed to."""
+    t = re.sub(r"^const\s+", "", t.strip())
+    return t.split("<")[0].strip().rstrip("&* ").split("::")[-1]
+
+
+def scan_class_members(cls: ClassModel, code: str):
+    body = code[cls.start + 1:cls.end - 1]
+    base = cls.start + 1
+    for off, stmt in _class_statements(_mask_nested(body)):
+        text = re.sub(r"\b(?:public|private|protected)\s*:", " ", stmt)
+        text = " ".join(text.split())
+        if not text or MEMBER_SKIP_RE.search(text) or "(" in \
+                text.split("PDC_", 1)[0].split("=", 1)[0].split("{", 1)[0]:
+            continue
+        m = MEMBER_DECL_RE.match(text)
+        if not m:
+            continue
+        # The declaration's first line: skip leading whitespace and any
+        # access-specifier label glued to the front of the statement.
+        abs_off = base + off
+        while True:
+            while abs_off < cls.end and code[abs_off] in " \t\n":
+                abs_off += 1
+            lm = re.match(r"(?:public|private|protected)\s*:",
+                          code[abs_off:cls.end])
+            if not lm:
+                break
+            abs_off += lm.end()
+        line = code.count("\n", 0, abs_off) + 1
+        mtype = m.group("type")
+        lockable = bool(LOCKABLE_TYPE_RE.match(mtype))
+        syncish = bool(SYNC_TYPE_RE.match(mtype))
+        threadish = bool(THREAD_TYPE_RE.search(mtype))
+        guarded = "PDC_GUARDED_BY" in stmt or "PDC_PT_GUARDED_BY" in stmt
+        if lockable:
+            cls.lockables.append(m.group("name"))
+        if lockable or syncish or threadish:
+            cls.triggered = True
+        # const exempts a field unless it is a pointer: `const X* p_` has
+        # a const pointee but the pointer itself is mutable state.
+        is_const = bool(m.group("const")) and "*" not in mtype
+        exempt = is_const or lockable or syncish or "atomic" in mtype
+        cls.members.append(MemberDecl(name=m.group("name"), type=mtype,
+                                      line=line, guarded=guarded,
+                                      exempt=exempt))
+
+
+def _unshared_reason(fm: FileModel, line: int):
+    """The unshared(...) escape covering a declaration at `line`: on the
+    line itself or in the contiguous comment block immediately above."""
+    if line in fm.unshared:
+        return fm.unshared[line]
+    k = line - 1
+    while k >= 1 and fm.raw_lines[k - 1].lstrip().startswith("//"):
+        if k in fm.unshared:
+            return fm.unshared[k]
+        k -= 1
+    return None
+
+
+def check_pda400(fm: FileModel, add, unshared_fields):
+    if fm.path == SYNC_WRAPPER_FILE:
+        return
+    for cls in fm.classes:
+        if not cls.triggered:
+            continue
+        for mem in cls.members:
+            if mem.exempt or mem.guarded:
+                continue
+            reason = _unshared_reason(fm, mem.line)
+            if reason is not None:
+                if not reason:
+                    add(fm, mem.line, "PDA400", "",
+                        "pdc: unshared() annotation must carry a reason")
+                else:
+                    unshared_fields.append(
+                        {"file": fm.path, "line": mem.line,
+                         "class": cls.name, "field": mem.name,
+                         "reason": reason})
+                continue
+            add(fm, mem.line, "PDA400", "",
+                f"{cls.name}::{mem.name} is mutable state in a class "
+                "that owns a lock or thread but carries neither "
+                "PDC_GUARDED_BY nor std::atomic (annotate "
+                "pdc: unshared(reason) if it is never shared)")
+
+
+def _innermost_class(fm: FileModel, fn: Function) -> str:
+    best = ""
+    for cls in fm.classes:
+        if cls.start < fn.start and fn.end <= cls.end:
+            best = cls.name    # discovery order: last containing wins
+    return best
+
+
+def _mask_lambdas(body: str) -> str:
+    """Blank lambda bodies: they run on other threads under their own
+    scopes, so their acquisitions and calls do not nest under the
+    enclosing function's held locks."""
+    out = list(body)
+    for m in LAMBDA_RE.finditer(body):
+        open_idx = m.end() - 1
+        end = match_brace(body, open_idx)
+        for k in range(open_idx + 1, max(open_idx + 1, end - 1)):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+def _scope_end(body: str, off: int) -> int:
+    """Offset of the '}' closing the block an acquisition at `off` lives
+    in — the end of the guard's RAII scope."""
+    depth = 0
+    for i in range(off, len(body)):
+        c = body[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return len(body)
+
+
+def _mutex_node(expr: str, cls_name: str, fm: FileModel, field_owner):
+    """Class-qualified identity for a mutex lvalue, or None when the
+    receiver is ambiguous (never guess a wrong edge into the proof)."""
+    expr = expr.strip()
+    if expr.startswith("this->"):
+        expr = expr[len("this->"):]
+    if not LVALUE_PATH_RE.fullmatch(expr):
+        return None
+    is_bare = "." not in expr and "->" not in expr
+    fld = re.split(r"->|\.", expr)[-1]
+    owners = field_owner.get(fld, set())
+    if cls_name in owners and is_bare:
+        return f"{cls_name}::{fld}"
+    if len(owners) == 1:
+        return f"{next(iter(owners))}::{fld}"
+    if cls_name in owners:
+        return f"{cls_name}::{fld}"
+    if owners:
+        return None
+    return f"{cls_name or fm.path}::{fld}"
+
+
+def mine_lock_order(models, add):
+    """Build the lock-acquisition graph, emit PDA410 findings for every
+    edge that participates in a cycle, and return the report section."""
+    lock_models = [fm for fm in models if fm.path != SYNC_WRAPPER_FILE]
+    field_owner = {}
+    field_types = {}
+    for fm in lock_models:
+        for cls in fm.classes:
+            for name in cls.lockables:
+                field_owner.setdefault(name, set()).add(cls.name)
+            field_types.setdefault(cls.name, {}).update(
+                {mem.name: _base_type(mem.type) for mem in cls.members})
+    defs = {}
+    for fm in lock_models:
+        for fn in fm.functions:
+            fn.cls = fn.qual or _innermost_class(fm, fn)
+            defs.setdefault(fn.name, []).append(fn)
+    req_map = {}
+    for fm in lock_models:
+        for m in REQUIRES_RE.finditer(fm.code):
+            name = m.group(1).split("::")[-1]
+            req_map.setdefault(name, set()).update(
+                e.strip() for e in m.group(2).split(",") if e.strip())
+
+    acqs = {}      # id(fn) -> [(off, node, line)]
+    calls = {}     # id(fn) -> [(off, callee name)]
+    for fm in lock_models:
+        for fn in fm.functions:
+            masked = _mask_lambdas(fn.body)
+            sites = []
+            for m in ACQUIRE_RE.finditer(masked):
+                args = m.group(1)
+                if "defer_lock" in args or "adopt_lock" in args or \
+                        "try_to_lock" in args:
+                    continue
+                node = _mutex_node(args.split(",")[0], fn.cls, fm,
+                                   field_owner)
+                if node is not None:
+                    line = masked.count("\n", 0, m.start()) \
+                        + fn.start_line
+                    sites.append((m.start(), node, line))
+            acqs[id(fn)] = sites
+            out = []
+            for m in MEMBER_CALL_RE.finditer(masked):
+                recv, callee = m.group(1), m.group(2)
+                if callee not in defs or callee == fn.name:
+                    continue
+                if recv:
+                    rtype = field_types.get(fn.cls, {}).get(recv)
+                    if rtype is not None and not any(
+                            d.cls == rtype for d in defs[callee]):
+                        continue    # field's class defines no such member
+                out.append((m.start(), callee))
+            calls[id(fn)] = out
+
+    # Transitive acquisitions per name (all-definitions union), so a
+    # call made under a lock contributes the callee's whole lock set.
+    acquires = {name: set() for name in defs}
+    for name, fns in defs.items():
+        for fn in fns:
+            acquires[name] |= {node for _, node, _ in acqs[id(fn)]}
+    changed = True
+    while changed:
+        changed = False
+        for name, fns in defs.items():
+            for fn in fns:
+                for _, callee in calls[id(fn)]:
+                    extra = acquires[callee] - acquires[name]
+                    if extra:
+                        acquires[name] |= extra
+                        changed = True
+
+    nodes = set()
+    edges = {}     # (from, to) -> (fm, line)
+    for fm in lock_models:
+        for fn in fm.functions:
+            sites = acqs[id(fn)]
+            nodes.update(node for _, node, _ in sites)
+            held_at_entry = {
+                n for e in req_map.get(fn.name, ())
+                for n in [_mutex_node(e, fn.cls, fm, field_owner)]
+                if n is not None}
+            nodes.update(held_at_entry)
+
+            def record(held, node, line, fm=fm):
+                if node != held:
+                    edges.setdefault((held, node), (fm, line))
+
+            for off_a, node_a, _ in sites:
+                end_a = _scope_end(fn.body, off_a)
+                for off_b, node_b, line_b in sites:
+                    if off_a < off_b < end_a:
+                        record(node_a, node_b, line_b)
+                for off_c, callee in calls[id(fn)]:
+                    if off_a < off_c < end_a:
+                        line_c = fn.body.count("\n", 0, off_c) \
+                            + fn.start_line
+                        for node_b in acquires[callee]:
+                            record(node_a, node_b, line_c)
+            for held in held_at_entry:
+                for _, node_b, line_b in sites:
+                    record(held, node_b, line_b)
+                for off_c, callee in calls[id(fn)]:
+                    line_c = fn.body.count("\n", 0, off_c) \
+                        + fn.start_line
+                    for node_b in acquires[callee]:
+                        record(held, node_b, line_c)
+
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, set()).add(b)
+
+    def reach(x):
+        seen, stack = set(), [x]
+        while stack:
+            for w in adj.get(stack.pop(), ()):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    reach_of = {n: reach(n) for n in adj}
+    cycles = sorted({
+        tuple(sorted({n} | {m for m in reach_of[n]
+                            if n in reach_of.get(m, ())}))
+        for n in adj if n in reach_of[n]})
+    # An edge participates in a cycle exactly when its source is
+    # reachable back from its target.
+    for (a, b), (fm, line) in sorted(edges.items(),
+                                     key=lambda kv: (kv[1][0].path,
+                                                     kv[1][1])):
+        if a in reach_of.get(b, ()):
+            add(fm, line, "PDA410", "",
+                f"acquiring {b} while holding {a} closes a cycle in "
+                "the lock-order graph (potential deadlock)")
+    return {
+        "nodes": sorted(nodes),
+        "edges": [{"from": a, "to": b, "file": fm.path, "line": line}
+                  for (a, b), (fm, line) in
+                  sorted(edges.items(),
+                         key=lambda kv: (kv[1][0].path, kv[1][1],
+                                         kv[0]))],
+        "cycles": [list(c) for c in cycles],
+    }
+
+
 # ------------------------------------------------------ libclang frontend ---
 
 def try_libclang_pda100(models, build_dir, findings, add):
@@ -658,6 +1146,7 @@ def analyze(paths, mode, build_dir):
     suppressions = []
     incore_zones = []
     io_wrappers = []
+    unshared_fields = []
 
     def add(fm: FileModel, line: int, rule_id: str, function: str,
             message: str):
@@ -695,6 +1184,8 @@ def analyze(paths, mode, build_dir):
     for fm in models:
         check_pda200(fm, add, incore_zones)
         check_pda300(fm, add, io_wrappers)
+        check_pda400(fm, add, unshared_fields)
+    lock_order = mine_lock_order(models, add)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     by_check = {c.rule_id: 0 for c in CHECKS}
@@ -716,10 +1207,16 @@ def analyze(paths, mode, build_dir):
                                key=lambda z: (z["file"], z["line"])),
         "io_wrappers": sorted(io_wrappers,
                               key=lambda w: (w["file"], w["line"])),
+        "unshared_fields": sorted(unshared_fields,
+                                  key=lambda u: (u["file"], u["line"])),
+        "lock_order": lock_order,
         "summary": {"findings": len(findings), "by_check": by_check,
                     "suppressed": len(suppressions),
                     "incore_zones": len(incore_zones),
-                    "io_wrappers": len(io_wrappers)},
+                    "io_wrappers": len(io_wrappers),
+                    "unshared_fields": len(unshared_fields),
+                    "lock_edges": len(lock_order["edges"]),
+                    "lock_cycles": len(lock_order["cycles"])},
     }
     return findings, report
 
@@ -799,7 +1296,10 @@ def main(argv=None) -> int:
     print(f"pdc-analyze [{report['mode']}]: {report['files_scanned']} "
           f"file(s), {s['findings']} finding(s), {s['suppressed']} "
           f"suppressed, {s['incore_zones']} incore zone(s), "
-          f"{s['io_wrappers']} io wrapper(s)", file=sys.stderr)
+          f"{s['io_wrappers']} io wrapper(s), "
+          f"{s.get('unshared_fields', 0)} unshared field(s), lock graph "
+          f"{s.get('lock_edges', 0)} edge(s) / "
+          f"{s.get('lock_cycles', 0)} cycle(s)", file=sys.stderr)
     return 1 if findings else 0
 
 

@@ -23,6 +23,15 @@ silently break them:
                               registry (src/obs/span_names.hpp); the
                               critical-path profiler and trace tooling
                               match spans by exact name
+  PDC008 raw-lock             no raw .lock()/.unlock()/.try_lock() calls
+                              outside the annotated RAII wrapper layer
+                              (src/common/sync.hpp); manual lock calls
+                              escape Clang's thread-safety analysis and
+                              the PDA410 lock-order proof
+  PDC009 implicit-seq-cst     std::atomic operation without an explicit
+                              memory-order argument; the default seq_cst
+                              hides the intended ordering contract and
+                              costs fences on weakly-ordered targets
   PDC000 bare-suppression     a pdc-lint suppression must carry a reason
 
 Suppress a finding with a trailing comment carrying a justification:
@@ -59,6 +68,13 @@ PDC004_ALLOWLIST = (
     "src/io/async_engine.hpp",
     "src/io/async_engine.cpp",
     "src/mp/runtime.cpp",
+)
+
+# The one place raw lock()/unlock() calls may live: the annotated wrapper
+# layer itself, which turns them into capability acquire/release events
+# the thread-safety analysis can see.
+PDC008_ALLOWLIST = (
+    "src/common/sync.hpp",
 )
 
 SUPPRESS_RE = re.compile(
@@ -102,6 +118,11 @@ RULES = [
          "real (wall-clock) sleep; charge the modeled clock instead", True),
     Rule("PDC007", "unregistered-span",
          "span name literal not in the registry (obs/span_names.hpp)", True),
+    Rule("PDC008", "raw-lock",
+         "raw .lock()/.unlock() outside the RAII wrappers "
+         "(common/sync.hpp)", True),
+    Rule("PDC009", "implicit-seq-cst",
+         "std::atomic op without an explicit memory-order argument", True),
 ]
 
 # Line-scoped patterns per rule.  The code view has comments and string
@@ -145,7 +166,36 @@ LINE_PATTERNS = {
         re.compile(r"\bsleep_(for|until)\b"),
         re.compile(_NOT_MEMBER + r"(sleep|usleep|nanosleep)\s*\("),
     ],
+    "PDC008": [
+        re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\(\s*\)"),
+        re.compile(r"(?:\.|->)\s*unlock\s*\(\s*\)"),
+    ],
 }
+
+# PDC009: member calls on std::atomic whose argument list carries no
+# std::memory_order.  The default is seq_cst, which both hides the
+# ordering the author relied on and costs full fences on weakly-ordered
+# hardware; the hot paths (async poison flags, arena counters) must spell
+# the order out.  Operator forms (++, +=, implicit conversion) are out of
+# reach of a textual pass and stay the code reviewer's job.  `clear`
+# (atomic_flag) is deliberately not matched -- every container has one.
+PDC009_METHODS = (r"(?:load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+                  r"fetch_or|fetch_xor|compare_exchange_weak|"
+                  r"compare_exchange_strong|test_and_set)")
+PDC009_RE = re.compile(r"(?:\.|->)\s*" + PDC009_METHODS + r"\s*\(")
+
+
+def _match_paren(code: str, open_idx: int) -> int:
+    """Index of the ')' matching code[open_idx] == '(', or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
 
 # PDC003: a statement that is exactly a read-API call chain, i.e. the call
 # begins a statement (after ';', '{', '}' or line start) and its value is
@@ -323,9 +373,20 @@ def lint_file(path: str, assume_src: bool):
             continue
         if rule_id == "PDC004" and any(rel == a for a in PDC004_ALLOWLIST):
             continue
+        if rule_id == "PDC008" and any(rel == a for a in PDC008_ALLOWLIST):
+            continue
         for lineno, line in enumerate(code_lines, start=1):
             if any(p.search(line) for p in patterns):
                 add(lineno, rule_id)
+
+    if is_src:
+        for m in PDC009_RE.finditer(code):
+            open_idx = code.index("(", m.end() - 1)
+            close_idx = _match_paren(code, open_idx)
+            args = code[open_idx:close_idx] if close_idx != -1 else ""
+            if "memory_order" not in args:
+                lineno = code.count("\n", 0, m.start()) + 1
+                add(lineno, "PDC009")
 
     for m in PDC003_RE.finditer(code):
         # Line of the method name, not of the statement terminator.

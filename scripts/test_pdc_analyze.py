@@ -45,6 +45,8 @@ class NegativeFixtures(unittest.TestCase):
         "bad_pda100_interproc.cpp": "PDA100",
         "bad_pda200_scan.cpp": "PDA200",
         "bad_pda300_io.cpp": "PDA300",
+        "bad_pda400_unguarded.cpp": "PDA400",
+        "bad_pda410_cycle.cpp": "PDA410",
     }
 
     def test_marker_lines_match_findings_exactly(self):
@@ -78,7 +80,9 @@ class Report(unittest.TestCase):
         self.assertEqual(report["mode"], "ast-lite")
         self.assertEqual(report["summary"]["findings"], len(findings))
         by_check = report["summary"]["by_check"]
-        self.assertEqual(sorted(by_check), ["PDA100", "PDA200", "PDA300"])
+        self.assertEqual(sorted(by_check),
+                         ["PDA100", "PDA200", "PDA300", "PDA400",
+                          "PDA410"])
         for rule in by_check:
             self.assertEqual(by_check[rule],
                              sum(1 for f in findings if f.rule == rule))
@@ -105,6 +109,62 @@ class Report(unittest.TestCase):
         sup = report["suppressions"][0]
         self.assertEqual(sup["id"], "PDA100")
         self.assertIn("single-rank subtree", sup["reason"])
+
+    def test_unshared_fields_are_inventoried_with_reasons(self):
+        _, report = analyze_fixture("bad_pda400_unguarded.cpp")
+        fields = {u["field"]: u["reason"]
+                  for u in report["unshared_fields"]}
+        self.assertEqual(
+            fields.get("escaped_ok_"),
+            "written once before the worker starts, then read-only")
+        self.assertEqual(report["summary"]["unshared_fields"],
+                         len(report["unshared_fields"]))
+
+
+class LockOrder(unittest.TestCase):
+    """The PDA410 lock-acquisition graph: the deliberate ABBA fixture is
+    cyclic, the consistent-order near-miss is not, and the repo's own
+    threaded layers prove acyclic (static deadlock freedom)."""
+
+    def test_fixture_cycle_is_published_in_the_report(self):
+        _, report = analyze_fixture("bad_pda410_cycle.cpp")
+        lo = report["lock_order"]
+        self.assertEqual(lo["cycles"],
+                         [["Transfer::audit_mu_", "Transfer::ledger_mu_"]])
+        pairs = {(e["from"], e["to"]) for e in lo["edges"]}
+        self.assertIn(("Transfer::ledger_mu_", "Transfer::audit_mu_"),
+                      pairs)
+        self.assertIn(("Transfer::audit_mu_", "Transfer::ledger_mu_"),
+                      pairs)
+
+    def test_consistent_order_yields_edges_but_no_cycle(self):
+        findings, report = analyze_fixture("good_clean.cpp")
+        lo = report["lock_order"]
+        self.assertEqual([f.render() for f in findings], [])
+        self.assertIn({"from": "OrderedPair::first_mu_",
+                       "to": "OrderedPair::second_mu_",
+                       "file": "tests/analyzer_fixtures/good_clean.cpp",
+                       "line": lo["edges"][0]["line"]}, lo["edges"])
+        self.assertEqual(lo["cycles"], [])
+
+    def test_repo_lock_graph_is_acyclic_with_known_edges(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        _, report = pdc_analyze.analyze([src], "ast-lite", "build")
+        lo = report["lock_order"]
+        self.assertEqual(lo["cycles"], [])
+        pairs = {(e["from"], e["to"]) for e in lo["edges"]}
+        # The serving plane's documented lock order: queue before stats,
+        # swap before the per-replica model locks and stats.
+        self.assertIn(("Server::queue_mu_", "Server::stats_mu_"), pairs)
+        self.assertIn(("Server::swap_mu_", "Replica::model_mu"), pairs)
+        self.assertIn(("Server::swap_mu_", "Server::stats_mu_"), pairs)
+
+    def test_repo_unshared_escapes_all_carry_reasons(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        _, report = pdc_analyze.analyze([src], "ast-lite", "build")
+        self.assertGreater(len(report["unshared_fields"]), 0)
+        for u in report["unshared_fields"]:
+            self.assertTrue(u["reason"], f"bare unshared field: {u}")
 
 
 class TaintEngine(unittest.TestCase):

@@ -43,6 +43,8 @@ class PositiveFixtures(unittest.TestCase):
         "bad_stdout.cpp": "PDC005",
         "bad_sleep.cpp": "PDC006",
         "bad_span_name.cpp": "PDC007",
+        "bad_raw_lock.cpp": "PDC008",
+        "bad_seqcst_atomic.cpp": "PDC009",
     }
 
     def test_annotated_lines_match_findings_exactly(self):
@@ -123,6 +125,30 @@ class Pdc004Allowlist(unittest.TestCase):
     def test_raw_thread_flagged_elsewhere_in_src(self):
         findings = lint_fixture("bad_raw_thread.cpp")
         self.assertEqual({f.rule for f in findings}, {"PDC004"})
+
+
+class Pdc008Allowlist(unittest.TestCase):
+    def test_wrapper_layer_is_exempt(self):
+        for rel in pdc_lint.PDC008_ALLOWLIST:
+            path = os.path.join(pdc_lint.REPO_ROOT, rel)
+            self.assertTrue(os.path.isfile(path),
+                            f"allowlist entry vanished: {rel}")
+            rules = {f.rule for f in pdc_lint.lint_file(path, False)}
+            self.assertNotIn("PDC008", rules)
+
+    def test_raw_lock_flagged_elsewhere_in_src(self):
+        findings = lint_fixture("bad_raw_lock.cpp")
+        self.assertEqual({f.rule for f in findings}, {"PDC008"})
+
+
+class Pdc009ArgumentScan(unittest.TestCase):
+    def test_multiline_explicit_order_is_compliant(self):
+        # The compliant fetch_add in the fixture splits its argument list
+        # across lines; the whole-argument scan must see the order.
+        findings = lint_fixture("bad_seqcst_atomic.cpp")
+        flagged = {f.line for f in findings}
+        explicit = annotated_lines("bad_seqcst_atomic.cpp", "PDC009")
+        self.assertEqual(sorted(flagged), explicit)
 
 
 class SarifOutput(unittest.TestCase):

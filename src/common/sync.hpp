@@ -1,0 +1,86 @@
+#pragma once
+
+// Annotated synchronization primitives: the only mutex/condvar vocabulary
+// the threaded layers (serve, io, mp, fault) are allowed to use.
+//
+// pdc::Mutex is a std::mutex carrying the Clang thread-safety "mutex"
+// capability; pdc::LockGuard is the RAII scope that acquires it; and
+// pdc::CondVar is a condition variable that waits on a LockGuard.  There
+// is deliberately no public lock()/unlock(): acquisition is RAII-only, so
+// a capability can never leak out of a scope, and pdc-lint PDC008 bans
+// raw .lock()/.unlock() calls everywhere outside this header.
+//
+// Condition waits are written as explicit loops rather than predicate
+// lambdas:
+//
+//   pdc::LockGuard lk(mu_);
+//   while (!ready_) cv_.wait(lk);   // ready_ is PDC_GUARDED_BY(mu_)
+//
+// A predicate lambda would be analyzed as a separate function that holds
+// no capabilities, so every guarded read inside it would (falsely) trip
+// -Wthread-safety; the explicit loop keeps the guarded reads in the scope
+// that provably holds the lock.  The analysis treats the capability as
+// held across wait(), matching the condition-variable contract (the lock
+// is reacquired before wait() returns).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace pdc {
+
+class CondVar;
+class LockGuard;
+
+/// A std::mutex that participates in Clang thread-safety analysis.
+/// Acquire it with pdc::LockGuard; fields it protects should be declared
+/// with PDC_GUARDED_BY(the_mutex).
+class PDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+ private:
+  friend class CondVar;
+  friend class LockGuard;
+  std::mutex raw_;
+};
+
+/// RAII acquisition of a pdc::Mutex.  Scoped-capability: Clang tracks the
+/// capability from construction to destruction.  Internally holds a
+/// std::unique_lock so CondVar can wait on it.
+class PDC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) PDC_ACQUIRE(mu) : lock_(mu.raw_) {}
+  ~LockGuard() PDC_RELEASE() = default;
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to pdc::Mutex via LockGuard.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the guard's mutex and blocks; the mutex is held
+  /// again when wait() returns.  Callers must re-check their predicate in
+  /// a loop (spurious wakeups).
+  void wait(LockGuard& lk) { cv_.wait(lk.lock_); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pdc

@@ -1,0 +1,65 @@
+#pragma once
+
+// Portable wrappers for Clang's thread-safety analysis attributes.
+//
+// Under Clang (with -Wthread-safety, see the PDC_THREAD_SAFETY CMake
+// option) these expand to the capability attributes that let the compiler
+// prove, at compile time, that every access to a guarded field happens
+// with the right mutex held.  Under GCC -- which has no equivalent
+// analysis -- every macro expands to nothing, so annotated code compiles
+// identically on both toolchains.
+//
+// The macros mirror the vocabulary of the official analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a PDC_
+// prefix:
+//
+//   PDC_CAPABILITY("mutex")   -- marks a class as a lockable capability
+//   PDC_SCOPED_CAPABILITY     -- marks an RAII guard class
+//   PDC_GUARDED_BY(mu)        -- field access requires holding mu
+//   PDC_PT_GUARDED_BY(mu)     -- pointee access requires holding mu
+//   PDC_REQUIRES(mu)          -- function must be called with mu held
+//   PDC_ACQUIRE(mu...)        -- function acquires mu and does not release
+//   PDC_RELEASE(mu...)        -- function releases mu
+//   PDC_EXCLUDES(mu...)       -- function must NOT be called with mu held
+//   PDC_RETURN_CAPABILITY(mu) -- function returns a reference to mu
+//   PDC_NO_THREAD_SAFETY_ANALYSIS -- opt a function out (use sparingly;
+//                                each use needs a justifying comment)
+//
+// scripts/pdc_analyze.py additionally mines these annotations (plus
+// pdc::LockGuard scopes) to build the lock-acquisition graph behind the
+// PDA410 deadlock-freedom proof, and PDA400 treats PDC_GUARDED_BY as the
+// evidence that a shared mutable field is accounted for.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PDC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PDC_THREAD_ANNOTATION
+#define PDC_THREAD_ANNOTATION(x)  // no-op on GCC and pre-capability Clang
+#endif
+
+#define PDC_CAPABILITY(x) PDC_THREAD_ANNOTATION(capability(x))
+
+#define PDC_SCOPED_CAPABILITY PDC_THREAD_ANNOTATION(scoped_lockable)
+
+#define PDC_GUARDED_BY(x) PDC_THREAD_ANNOTATION(guarded_by(x))
+
+#define PDC_PT_GUARDED_BY(x) PDC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define PDC_REQUIRES(...) \
+  PDC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define PDC_ACQUIRE(...) \
+  PDC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define PDC_RELEASE(...) \
+  PDC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define PDC_EXCLUDES(...) PDC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define PDC_RETURN_CAPABILITY(x) PDC_THREAD_ANNOTATION(lock_returned(x))
+
+#define PDC_NO_THREAD_SAFETY_ANALYSIS \
+  PDC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -177,13 +177,13 @@ bool RankFault::matches(const FaultSpec& spec, FaultSite site,
 
 DiskAction RankFault::on_disk(bool is_write) {
   if (!enabled()) return DiskAction::kProceed;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return on_disk_locked(is_write, now());
 }
 
 DiskAction RankFault::on_disk(bool is_write, double now_s) {
   if (!enabled()) return DiskAction::kProceed;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return on_disk_locked(is_write, now_s);
 }
 
@@ -219,7 +219,7 @@ DiskAction RankFault::on_disk_locked(bool is_write, double now_s) {
 
 void RankFault::on_comm(std::string_view prim, bool collective) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const FaultSite site =
       collective ? FaultSite::kCommCollective : FaultSite::kCommP2p;
   ++ops_[static_cast<std::size_t>(site)];

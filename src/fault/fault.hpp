@@ -21,12 +21,13 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "mp/clock.hpp"
 
 namespace pdc::fault {
@@ -132,6 +133,7 @@ class RankFault {
     plan_ = plan;
     rank_ = rank;
     clock_ = clock;
+    LockGuard lock(mu_);
     ops_ = {};
     remaining_.assign(plan != nullptr ? plan->specs().size() : 0, -1);
     injected_ = 0;
@@ -157,23 +159,29 @@ class RankFault {
 
   /// Failures injected on this rank so far (all sites).
   std::uint64_t injected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return injected_;
   }
 
  private:
   double now() const { return clock_ ? clock_->total() : 0.0; }
-  bool matches(const FaultSpec& spec, FaultSite site, double now_s) const;
-  DiskAction on_disk_locked(bool is_write, double now_s);
+  bool matches(const FaultSpec& spec, FaultSite site, double now_s) const
+      PDC_REQUIRES(mu_);
+  DiskAction on_disk_locked(bool is_write, double now_s) PDC_REQUIRES(mu_);
 
+  // pdc: unshared(armed by init and the constructor before any
+  // concurrent use and read-only thereafter; both threads only read it)
   const FaultPlan* plan_ = nullptr;
+  // pdc: unshared(armed before concurrent use, read-only thereafter)
   int rank_ = 0;
+  // pdc: unshared(armed before concurrent use, read-only thereafter)
   const mp::Clock* clock_ = nullptr;
-  mutable std::mutex mu_;
-  std::array<std::uint64_t, 4> ops_{};  ///< per-site operation counters
+  mutable Mutex mu_;
+  /// Per-site operation counters.
+  std::array<std::uint64_t, 4> ops_ PDC_GUARDED_BY(mu_) = {};
   /// Per spec: -1 = not yet triggered, otherwise failing attempts left.
-  std::vector<int> remaining_;
-  std::uint64_t injected_ = 0;
+  std::vector<int> remaining_ PDC_GUARDED_BY(mu_);
+  std::uint64_t injected_ PDC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pdc::fault

@@ -4,7 +4,7 @@ namespace pdc::io {
 
 AsyncEngine::~AsyncEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -14,7 +14,7 @@ AsyncEngine::~AsyncEngine() {
 std::shared_ptr<AsyncSlot> AsyncEngine::submit(AsyncRequest req) {
   auto slot = std::make_shared<AsyncSlot>();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (!worker_.joinable()) {
       worker_ = std::thread([this] { run(); });
     }
@@ -28,8 +28,10 @@ void AsyncEngine::run() {
   for (;;) {
     std::pair<AsyncRequest, std::shared_ptr<AsyncSlot>> item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      LockGuard lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (queue_.empty()) {
         // stop_ with a drained queue: outstanding slots have all been
         // published; nothing can be enqueued after the destructor ran.

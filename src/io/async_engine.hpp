@@ -18,15 +18,15 @@
 // issued.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "fault/fault.hpp"
 
 namespace pdc::io {
@@ -79,9 +79,14 @@ struct AsyncRequest {
 /// worker publishes the outcome.
 class AsyncSlot {
  public:
+  /// Blocks until the worker publishes the outcome.  The returned
+  /// reference stays valid without the lock: complete() runs exactly once,
+  /// and the worker never touches the slot again after setting done_.
   const AsyncOutcome& wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return done_; });
+    LockGuard lock(mu_);
+    while (!done_) {
+      cv_.wait(lock);
+    }
     return out_;
   }
 
@@ -90,17 +95,17 @@ class AsyncSlot {
 
   void complete(const AsyncOutcome& out) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      LockGuard lock(mu_);
       out_ = out;
       done_ = true;
     }
     cv_.notify_all();
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  AsyncOutcome out_;
+  Mutex mu_;
+  CondVar cv_;
+  bool done_ PDC_GUARDED_BY(mu_) = false;
+  AsyncOutcome out_ PDC_GUARDED_BY(mu_);
 };
 
 class AsyncEngine {
@@ -119,11 +124,15 @@ class AsyncEngine {
   void run();
   static AsyncOutcome execute(const AsyncRequest& req);
 
+  // pdc: unshared(only the owning rank thread touches the handle -- in
+  // submit to lazily spawn and in the destructor to join; the worker
+  // never accesses its own std::thread object)
   std::thread worker_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::pair<AsyncRequest, std::shared_ptr<AsyncSlot>>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::pair<AsyncRequest, std::shared_ptr<AsyncSlot>>> queue_
+      PDC_GUARDED_BY(mu_);
+  bool stop_ PDC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pdc::io

@@ -134,6 +134,10 @@ class BlockReader {
   std::size_t depth_ = 1;
   std::size_t remaining_ = 0;    ///< records not yet returned
   std::size_t unrequested_ = 0;  ///< records not yet submitted to the worker
+  /// Shared with the disk worker thread, which stores true (release) on a
+  /// torn/failed/short request; the rank thread and later worker requests
+  /// load it with acquire.  The atomic is the only cross-thread field of
+  /// this class -- everything else is confined to the owning rank thread.
   std::shared_ptr<std::atomic<bool>> poison_;
   std::deque<Pending> pending_;
 };
@@ -250,6 +254,8 @@ class BlockWriter {
   std::size_t depth_ = 1;
   std::vector<T> buffer_;
   std::size_t count_ = 0;
+  /// Cross-thread tear/fail flag; same acquire/release contract as
+  /// BlockReader::poison_.
   std::shared_ptr<std::atomic<bool>> poison_;
   std::deque<Pending> pending_;
 };

@@ -26,7 +26,9 @@ std::atomic<std::uint64_t> g_arena_counter{0};
 ScratchArena::ScratchArena(const std::string& tag, int nprocs)
     : nprocs_(nprocs) {
   if (nprocs < 1) throw std::invalid_argument("ScratchArena: nprocs >= 1");
-  const auto id = g_arena_counter.fetch_add(1);
+  // Relaxed: the counter only needs uniqueness, not ordering with any
+  // other memory.
+  const auto id = g_arena_counter.fetch_add(1, std::memory_order_relaxed);
   root_ = scratch_root() /
           ("pdc_" + tag + "_" + std::to_string(::getpid()) + "_" +
            std::to_string(id));

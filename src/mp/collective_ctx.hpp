@@ -8,13 +8,14 @@
 // This keeps the modeled cost exactly equal to the paper's analysis instead
 // of whatever a p2p emulation would add up to.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 #include "mp/lockstep.hpp"
 #include "mp/mailbox.hpp"  // AbortError
@@ -27,7 +28,7 @@ class CentralBarrier {
   explicit CentralBarrier(int n) : n_(n) {}
 
   void arrive_and_wait() {
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     if (aborted_) throw AbortError{};
     const std::size_t my_gen = generation_;
     if (++arrived_ == n_) {
@@ -35,32 +36,34 @@ class CentralBarrier {
       ++generation_;
       cv_.notify_all();
     } else {
-      cv_.wait(lock, [&] { return generation_ != my_gen || aborted_; });
+      while (generation_ == my_gen && !aborted_) {
+        cv_.wait(lock);
+      }
       if (generation_ == my_gen && aborted_) throw AbortError{};
     }
   }
 
   void abort() {
     {
-      std::lock_guard lock(mu_);
+      LockGuard lock(mu_);
       aborted_ = true;
     }
     cv_.notify_all();
   }
 
   void reset() {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     aborted_ = false;
     arrived_ = 0;
   }
 
  private:
-  int n_;
-  int arrived_ = 0;
-  std::size_t generation_ = 0;
-  bool aborted_ = false;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  const int n_;
+  int arrived_ PDC_GUARDED_BY(mu_) = 0;
+  std::size_t generation_ PDC_GUARDED_BY(mu_) = 0;
+  bool aborted_ PDC_GUARDED_BY(mu_) = false;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 /// Per-collective shared scratch: one byte-vector slot and one double slot
@@ -110,9 +113,15 @@ class CollectiveContext {
   }
 
  private:
-  int nprocs_;
+  const int nprocs_;
+  // pdc: unshared(barrier-phased rendezvous data, not mutex-guarded: a
+  // rank writes only its own slot before publish_barrier and everyone
+  // reads between publish_barrier and reuse_barrier; the three-phase
+  // barrier sequence is the synchronization)
   std::vector<std::vector<std::byte>> slots_;
+  // pdc: unshared(barrier-phased, same discipline as slots_)
   std::vector<double> times_;
+  // pdc: unshared(barrier-phased, same discipline as slots_)
   std::vector<LockstepRecord> audits_;
   CentralBarrier enter_;
   CentralBarrier mid_;
@@ -128,14 +137,14 @@ class SplitArena {
   std::shared_ptr<CollectiveContext> get_or_create(
       const CollectiveContext* parent, std::uint64_t generation, int color,
       int size) {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     auto& slot = contexts_[Key{parent, generation, color}];
     if (!slot) slot = std::make_shared<CollectiveContext>(size);
     return slot;
   }
 
   void abort_all() {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     for (auto& [key, ctx] : contexts_) ctx->abort();
   }
 
@@ -147,8 +156,9 @@ class SplitArena {
     auto operator<=>(const Key&) const = default;
   };
 
-  std::mutex mu_;
-  std::map<Key, std::shared_ptr<CollectiveContext>> contexts_;
+  Mutex mu_;
+  std::map<Key, std::shared_ptr<CollectiveContext>> contexts_
+      PDC_GUARDED_BY(mu_);
 };
 
 }  // namespace pdc::mp

@@ -10,13 +10,14 @@
 // abort() wakes every blocked receiver with AbortError so that an exception
 // on one rank cannot deadlock the rest of the SPMD program.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pdc::mp {
 
@@ -45,7 +46,7 @@ class Mailbox {
  public:
   void put(Message msg) {
     {
-      std::lock_guard lock(mu_);
+      LockGuard lock(mu_);
       queue_.push_back(std::move(msg));
     }
     cv_.notify_all();
@@ -54,7 +55,7 @@ class Mailbox {
   /// Blocks until a message matching (src, tag) arrives; src/tag may be
   /// kAnySource/kAnyTag.  Messages from the same source arrive in order.
   Message take(int src, int tag) {
-    std::unique_lock lock(mu_);
+    LockGuard lock(mu_);
     for (;;) {
       if (aborted_) throw AbortError{};
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -71,7 +72,7 @@ class Mailbox {
 
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int src, int tag) const {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     for (const auto& m : queue_) {
       if ((src == kAnySource || m.src == src) &&
           (tag == kAnyTag || m.tag == tag)) {
@@ -82,20 +83,20 @@ class Mailbox {
   }
 
   std::size_t pending() const {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     return queue_.size();
   }
 
   void abort() {
     {
-      std::lock_guard lock(mu_);
+      LockGuard lock(mu_);
       aborted_ = true;
     }
     cv_.notify_all();
   }
 
   void reset() {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     aborted_ = false;
     queue_.clear();
     send_seq_ = 0;
@@ -105,16 +106,16 @@ class Mailbox {
   /// rank thread calls this (on its *own* mailbox, before depositing into
   /// the destination's), so the per-sender order is deterministic.
   std::uint64_t next_send_seq() {
-    std::lock_guard lock(mu_);
+    LockGuard lock(mu_);
     return send_seq_++;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool aborted_ = false;
-  std::uint64_t send_seq_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> queue_ PDC_GUARDED_BY(mu_);
+  bool aborted_ PDC_GUARDED_BY(mu_) = false;
+  std::uint64_t send_seq_ PDC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pdc::mp

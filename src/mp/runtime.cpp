@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <numeric>
 #include <thread>
+
+#include "common/sync.hpp"
 
 namespace pdc::mp {
 
@@ -98,8 +99,11 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
     }
   }
 
+  // first_error is a local shared with every rank thread; locals cannot
+  // carry PDC_GUARDED_BY, so the guard discipline is by convention: only
+  // touched under error_mu.
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
 
   auto rank_main = [&](int rank) {
     const auto urank = static_cast<std::size_t>(rank);
@@ -114,7 +118,7 @@ SpmdReport Runtime::run(const std::function<void(Comm&)>& body,
       // Another rank failed first; nothing to record.
     } catch (...) {
       {
-        std::lock_guard lock(error_mu);
+        LockGuard lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
       ctx.abort();

@@ -11,6 +11,12 @@
 // `swap_every` completions to exercise hot-swap under load, and folds the
 // exact per-batch latencies plus the server's own counters into a
 // structured report.
+//
+// Concurrency: the generator itself is single-threaded and owns no shared
+// mutable state -- all cross-thread traffic goes through Server's
+// annotated capability surface (submit()/hot_swap()/stats()) and the
+// std::future handshake, so there is nothing here for the thread-safety
+// analysis to guard.
 
 #include <cstddef>
 #include <cstdint>

@@ -70,16 +70,17 @@ std::future<BatchResult> Server::submit(RecordBlock block) {
   req.enqueue_wall_s = wall_seconds();
   std::future<BatchResult> fut = req.promise.get_future();
   {
-    std::unique_lock<std::mutex> lk(queue_mu_);
-    queue_space_.wait(
-        lk, [this] { return stop_ || queue_.size() < cfg_.queue_capacity; });
+    LockGuard lk(queue_mu_);
+    while (!stop_ && queue_.size() >= cfg_.queue_capacity) {
+      queue_space_.wait(lk);
+    }
     if (stop_) {
       throw std::runtime_error("Server: submit after shutdown");
     }
     queue_.push_back(std::move(req));
     const std::uint64_t depth = queue_.size();
     {
-      std::lock_guard<std::mutex> slk(stats_mu_);
+      LockGuard slk(stats_mu_);
       stats_.queue_highwater = std::max(stats_.queue_highwater, depth);
     }
   }
@@ -88,29 +89,29 @@ std::future<BatchResult> Server::submit(RecordBlock block) {
 }
 
 std::uint64_t Server::hot_swap(CompiledTree model) {
-  std::lock_guard<std::mutex> swap_lk(swap_mu_);
+  LockGuard swap_lk(swap_mu_);
   const std::uint64_t v = ++published_version_;
   auto next = std::make_shared<const VersionedModel>(
       VersionedModel{std::move(model), v});
   for (auto& rep : replicas_) {
-    std::lock_guard<std::mutex> lk(rep->model_mu);
+    LockGuard lk(rep->model_mu);
     rep->model = next;
   }
   {
-    std::lock_guard<std::mutex> slk(stats_mu_);
+    LockGuard slk(stats_mu_);
     ++stats_.swaps;
   }
   return v;
 }
 
 std::uint64_t Server::version() const {
-  std::lock_guard<std::mutex> lk(swap_mu_);
+  LockGuard lk(swap_mu_);
   return published_version_;
 }
 
 void Server::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    LockGuard lk(queue_mu_);
     if (stop_ && workers_.empty()) return;
     stop_ = true;
   }
@@ -123,7 +124,7 @@ void Server::shutdown() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  LockGuard lk(stats_mu_);
   return stats_;
 }
 
@@ -137,8 +138,10 @@ void Server::worker_loop(int r) {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_nonempty_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      LockGuard lk(queue_mu_);
+      while (!stop_ && queue_.empty()) {
+        queue_nonempty_.wait(lk);
+      }
       if (queue_.empty()) return;  // stop_ set and fully drained
       req = std::move(queue_.front());
       queue_.pop_front();
@@ -147,7 +150,7 @@ void Server::worker_loop(int r) {
 
     std::shared_ptr<const VersionedModel> m;
     {
-      std::lock_guard<std::mutex> lk(rep.model_mu);
+      LockGuard lk(rep.model_mu);
       m = rep.model;
     }
 
@@ -167,7 +170,7 @@ void Server::worker_loop(int r) {
 
     bool swapped = false;
     {
-      std::lock_guard<std::mutex> lk(stats_mu_);
+      LockGuard lk(stats_mu_);
       ReplicaStats& rs = stats_.replicas[ri];
       if (!replica_started_[ri]) {
         replica_started_[ri] = true;

@@ -27,15 +27,15 @@
 // training runs.
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>  // pdc-lint: allow(PDC004) -- serve worker pool; replicas are threads by design, not SPMD ranks
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "mp/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -131,32 +131,40 @@ class Server {
   };
 
   struct Replica {
-    std::mutex model_mu;
-    std::shared_ptr<const VersionedModel> model;  // guarded by model_mu
+    Mutex model_mu;
+    std::shared_ptr<const VersionedModel> model PDC_GUARDED_BY(model_mu);
   };
 
   void worker_loop(int r);
 
+  // pdc: unshared(set in the constructor before the workers start and
+  // immutable thereafter; workers only read it)
   ServerConfig cfg_;
+  // pdc: unshared(the vector is filled in the constructor before the
+  // workers start and never resized; the Replica elements it points to
+  // carry their own model_mu capability)
   std::vector<std::unique_ptr<Replica>> replicas_;
-  /// Per-replica modeled clocks for the optional trace tracks; each is
-  /// touched only by its replica's worker thread.
+  // pdc: unshared(per-replica modeled clocks for the optional trace
+  // tracks; each slot is touched only by its replica's worker thread)
   std::vector<mp::Clock> clocks_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_nonempty_;
-  std::condition_variable queue_space_;
-  std::deque<Request> queue_;  // guarded by queue_mu_
-  bool stop_ = false;          // guarded by queue_mu_
+  mutable Mutex queue_mu_;
+  CondVar queue_nonempty_;
+  CondVar queue_space_;
+  std::deque<Request> queue_ PDC_GUARDED_BY(queue_mu_);
+  bool stop_ PDC_GUARDED_BY(queue_mu_) = false;
 
-  mutable std::mutex swap_mu_;
-  std::uint64_t published_version_ = 0;  // guarded by swap_mu_
+  mutable Mutex swap_mu_;
+  std::uint64_t published_version_ PDC_GUARDED_BY(swap_mu_) = 0;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;                        // guarded by stats_mu_
-  std::vector<std::uint64_t> last_version_;  // guarded by stats_mu_
-  std::vector<bool> replica_started_;        // guarded by stats_mu_
+  mutable Mutex stats_mu_;
+  ServerStats stats_ PDC_GUARDED_BY(stats_mu_);
+  std::vector<std::uint64_t> last_version_ PDC_GUARDED_BY(stats_mu_);
+  std::vector<bool> replica_started_ PDC_GUARDED_BY(stats_mu_);
 
+  // pdc: unshared(owned by the control plane: filled in the constructor,
+  // joined and cleared in shutdown; the workers never touch their own
+  // handles)
   std::vector<std::thread> workers_;  // pdc-lint: allow(PDC004) -- serve worker pool; replicas are threads by design, not SPMD ranks
 };
 

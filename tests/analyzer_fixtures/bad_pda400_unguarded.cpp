@@ -1,0 +1,47 @@
+// pdc-analyze fixture: PDA400 unguarded-shared-field.  SharedCounters
+// owns a mutex, so every mutable field must state its synchronization
+// story: PDC_GUARDED_BY, std::atomic, const, or a pdc: unshared(reason)
+// escape.  The marked lines carry none of those.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define PDC_GUARDED_BY(x)
+
+class SharedCounters {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;
+  std::uint64_t hits_ = 0;                              // expect-PDA400
+  std::vector<int> samples_;                            // expect-PDA400
+  std::uint64_t guarded_ok_ PDC_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> atomic_ok_{0};
+  const int capacity_ok_ = 8;
+  // pdc: unshared(written once before the worker starts, then read-only)
+  int escaped_ok_ = 0;
+  // A reasonless escape is itself a finding: the audit trail must say
+  // WHY the field needs no lock.
+  // pdc: unshared()
+  int bare_escape_ = 0;                                 // expect-PDA400
+};
+
+// A thread handle marks the class as shared too: the handle plus a
+// mutable flag with no story is exactly the shape PDA400 exists for.
+#include <thread>
+class Worker {
+ public:
+  void start();
+
+ private:
+  std::thread thread_;                                  // expect-PDA400
+  bool running_ = false;                                // expect-PDA400
+};
+
+// No sync member, no audit: a plain value type keeps its plain fields.
+struct PlainRecord {
+  int id = 0;
+  std::vector<int> payload;
+};

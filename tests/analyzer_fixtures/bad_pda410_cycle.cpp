@@ -1,0 +1,31 @@
+// pdc-analyze fixture: PDA410 lock-order-cycle.  Transfer's two methods
+// acquire the same two mutexes in opposite orders — the classic ABBA
+// deadlock.  Both inner acquisitions close the cycle and are flagged;
+// the consistent-order pair in good_clean.cpp is the near-miss.
+namespace pdc {
+
+class Mutex {};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu);
+};
+
+}  // namespace pdc
+
+class Transfer {
+ public:
+  void debit_then_credit() {
+    pdc::LockGuard lk(ledger_mu_);
+    pdc::LockGuard audit(audit_mu_);                    // expect-PDA410
+  }
+
+  void credit_then_debit() {
+    pdc::LockGuard audit(audit_mu_);
+    pdc::LockGuard lk(ledger_mu_);                      // expect-PDA410
+  }
+
+ private:
+  pdc::Mutex ledger_mu_;
+  pdc::Mutex audit_mu_;
+};

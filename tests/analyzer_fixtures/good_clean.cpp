@@ -54,3 +54,55 @@ void charged_write(const char* path, const std::vector<char>& bytes) {
     std::fclose(f);
   }
 }
+
+// PDA400 near-miss: a lock-owning class whose every field is accounted
+// for — guarded, atomic, const, or escaped with a reason.
+#include <atomic>
+#define PDC_GUARDED_BY(x)
+
+namespace pdc {
+class Mutex {};
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu);
+};
+}  // namespace pdc
+
+class AccountedState {
+ public:
+  void tick();
+
+ private:
+  pdc::Mutex mu_;
+  int ticks_ PDC_GUARDED_BY(mu_) = 0;
+  std::atomic<int> epoch_{0};
+  const int limit_ = 16;
+  // pdc: unshared(written before the worker thread exists)
+  int seed_ = 0;
+};
+
+// PDA410 near-misses: both methods take the two locks in the SAME order
+// (edges, no cycle), and the third takes them sequentially — the second
+// guard opens after the first one's scope has closed, so reversed order
+// without overlap adds no edge at all.
+class OrderedPair {
+ public:
+  void first_then_second() {
+    pdc::LockGuard a(first_mu_);
+    pdc::LockGuard b(second_mu_);
+  }
+
+  void also_first_then_second() {
+    pdc::LockGuard a(first_mu_);
+    pdc::LockGuard b(second_mu_);
+  }
+
+  void sequential_not_nested() {
+    { pdc::LockGuard b(second_mu_); }
+    { pdc::LockGuard a(first_mu_); }
+  }
+
+ private:
+  pdc::Mutex first_mu_;
+  pdc::Mutex second_mu_;
+};

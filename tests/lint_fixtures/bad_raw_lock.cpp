@@ -1,0 +1,28 @@
+// pdc-lint fixture: every flagged line below must trip PDC008.  Raw
+// lock()/unlock() calls bypass the annotated RAII wrappers, so the
+// thread-safety analysis and the PDA410 lock-order proof never see the
+// acquisition.
+#include <mutex>
+
+struct Guarded {
+  std::mutex mu;
+  int value = 0;
+};
+
+int fixture_manual_lock(Guarded& g) {
+  g.mu.lock();                   // PDC008
+  const int v = g.value;
+  g.mu.unlock();                 // PDC008
+  return v;
+}
+
+void fixture_pointer_forms(Guarded* g, std::unique_lock<std::mutex>& lk) {
+  g->mu.lock();                  // PDC008
+  ++g->value;
+  g->mu.unlock();                // PDC008
+  lk.unlock();                   // PDC008
+  if (g->mu.try_lock()) {        // PDC008
+    g->mu.unlock();              // PDC008
+  }
+  lk.lock();                     // PDC008
+}

@@ -1,0 +1,27 @@
+// pdc-lint fixture: every flagged line below must trip PDC009.  An
+// atomic op without an explicit memory-order argument silently defaults
+// to seq_cst; the intended ordering must be spelled out.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<bool> g_flag{false};
+std::atomic<std::uint64_t> g_count{0};
+
+std::uint64_t fixture_implicit_orders(std::atomic<int>* p) {
+  g_flag.store(true);                        // PDC009
+  bool seen = g_flag.load();                 // PDC009
+  std::uint64_t n = g_count.fetch_add(1);    // PDC009
+  n += g_count.fetch_sub(1);                 // PDC009
+  int old = p->exchange(7);                  // PDC009
+  int want = 7;
+  if (p->compare_exchange_strong(want, 9)) { // PDC009
+    ++n;
+  }
+  // A spelled-out order split across lines is still compliant: the check
+  // scans the whole argument list, not just the call line.
+  n += g_count.fetch_add(
+      1, std::memory_order_relaxed);
+  g_flag.store(false, std::memory_order_release);
+  (void)g_flag.load(std::memory_order_acquire);
+  return n + static_cast<std::uint64_t>(old) + (seen ? 1u : 0u);
+}

@@ -67,3 +67,26 @@ void fixture_report(const char* what) {
 void fixture_suppressed() {
   std::printf("ready\n");  // pdc-lint: allow(PDC005) -- fixture: by design
 }
+
+// PDC008 near-misses: RAII construction (the guard's constructor is not a
+// member .lock() call), methods whose names merely contain "lock", and
+// the std::exchange utility (PDC009 near-miss too: not a member call).
+#include <atomic>
+#include <mutex>
+#include <utility>
+struct Pipeline {
+  void block() {}
+  void unlock_all() {}
+};
+int fixture_raii_only(std::mutex& mu, Pipeline& p, std::atomic<int>& a,
+                      int next) {
+  std::lock_guard<std::mutex> guard(mu);
+  std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+  p.block();
+  p.unlock_all();
+  // PDC009 near-misses: explicit memory orders everywhere.
+  a.store(1, std::memory_order_release);
+  int seen = a.load(std::memory_order_acquire);
+  seen += a.fetch_add(1, std::memory_order_relaxed);
+  return seen + std::exchange(next, 0);
+}
