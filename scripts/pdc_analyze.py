@@ -50,6 +50,40 @@ before anything runs, with three interprocedural checks:
       member calls through fields whose declared class has no matching
       definition are dropped rather than merged by name.
 
+  PDA500 codec-symmetry
+      Serializer/deserializer function pairs (serialize/deserialize,
+      to_bytes/from_bytes, export_state/restore_state by receiver class;
+      encode_/decode_, put_/get_, append_/take_ by shared suffix within
+      a file) whose field-access sets disagree: a field written on one
+      side but never read on the other, a class member absent from both
+      sides of its class's codec, or common fields read in a different
+      order than written.  Derived or process-local fields that are
+      deliberately off the wire carry `// pdc: nonwire(reason)` — on the
+      member declaration, the access line, or (for bulk/stream decoders
+      with no per-field accesses) the function — and are inventoried in
+      the report's `codec_pairs` section.
+
+  PDA510 untrusted-narrowing
+      A value originating from a deserialization buffer (from_bytes,
+      fread, a decode_/get_/take_-family reader) flowing into an
+      allocation size (resize/reserve/assign/new[]), an array index, a
+      memcpy length, a loop bound, or a narrowing static_cast with no
+      intervening validated bound.  A bound counts when the value is
+      relationally compared in an if/loop condition whose guarded region
+      throws or returns, or when the use is wrapped in std::min/clamp.
+      Flagged flows are published in the report's `untrusted_flows`
+      section; the discipline generalizes the CompiledTree::from_bytes
+      validation layer to every codec.
+
+  PDA520 nondeterminism-escapes-to-wire
+      Nondeterministic bytes reaching a serialize path: a pointer value
+      cast to uintptr_t (or an address-of argument passed as a wire
+      value), iteration over an unordered container inside a writer
+      function with no sort in sight, or a whole-struct memcpy of a type
+      with computed padding bytes and no memset scrub before it.  Any of
+      these makes the wire image differ between runs that are
+      semantically identical, breaking byte-exact reproducibility.
+
 Frontends (mirrors scripts/run_tidy.py):
   * libclang, driven by compile_commands.json, when the python bindings
     are importable — sharpens PDA100 with AST-accurate branch scoping.
@@ -125,6 +159,17 @@ CHECKS = [
     Rule("PDA410", "lock-order-cycle",
          "lock acquisition that closes a cycle in the static "
          "lock-order graph (potential deadlock)", True),
+    Rule("PDA500", "codec-symmetry",
+         "field written on one side of a codec pair but not read on the "
+         "other (or read out of order) without a pdc: nonwire(reason) "
+         "annotation", True),
+    Rule("PDA510", "untrusted-narrowing",
+         "wire-derived value flows into an allocation size, index, "
+         "memcpy length, loop bound, or narrowing cast without a "
+         "validated bound", True),
+    Rule("PDA520", "nondeterminism-escapes-to-wire",
+         "pointer value, unordered-container iteration order, or "
+         "padded-struct bytes flow into a serialize path", True),
 ]
 
 # mp::Comm collective primitives (src/mp/comm.hpp).  `split` is matched
@@ -180,6 +225,7 @@ CHARGE_RE = re.compile(
 INCORE_RE = re.compile(r"pdc:\s*incore\(([^)]*)\)")
 IOWRAP_RE = re.compile(r"pdc:\s*io-wrapper\(([^)]*)\)")
 UNSHARED_RE = re.compile(r"pdc:\s*unshared\(([^)]*)\)")
+NONWIRE_RE = re.compile(r"pdc:\s*nonwire\(([^)]*)\)")
 ALLOW_RE = re.compile(
     r"pdc-lint:\s*allow\(\s*(PDA\d{3})\s*\)\s*(--\s*\S.*)?")
 
@@ -255,6 +301,7 @@ class FileModel:
     incore: dict                 # line -> reason
     iowrap: dict                 # line -> reason
     unshared: dict = field(default_factory=dict)   # line -> reason
+    nonwire: dict = field(default_factory=dict)    # line -> reason
     classes: list = field(default_factory=list)
 
 
@@ -362,18 +409,21 @@ def load_file(path: str) -> FileModel:
         if m:
             iowrap[lineno] = m.group(1).strip()
 
-    # unshared(...) escapes wrap across comment lines, so they are mined
-    # from the raw text ([^)] spans newlines) and keyed on the line the
-    # annotation starts; `//` continuations are scrubbed from the reason.
-    unshared = {}
-    for m in UNSHARED_RE.finditer(text):
-        reason = " ".join(re.sub(r"\s*//\s*", " ", m.group(1)).split())
-        unshared[text.count("\n", 0, m.start()) + 1] = reason
+    # unshared(...)/nonwire(...) escapes wrap across comment lines, so
+    # they are mined from the raw text ([^)] spans newlines) and keyed on
+    # the line the annotation starts; `//` continuations are scrubbed
+    # from the reason.
+    unshared, nonwire = {}, {}
+    for pat, table in ((UNSHARED_RE, unshared), (NONWIRE_RE, nonwire)):
+        for m in pat.finditer(text):
+            reason = " ".join(re.sub(r"\s*//\s*", " ", m.group(1)).split())
+            table[text.count("\n", 0, m.start()) + 1] = reason
 
     fm = FileModel(path=rel, raw_lines=raw_lines, code=code,
                    functions=extract_functions(rel, code),
                    allowed=allowed, bare_allows=bare,
-                   incore=incore, iowrap=iowrap, unshared=unshared)
+                   incore=incore, iowrap=iowrap, unshared=unshared,
+                   nonwire=nonwire)
     fm.classes = extract_classes(rel, code)
     for cls in fm.classes:
         scan_class_members(cls, code)
@@ -827,17 +877,21 @@ def scan_class_members(cls: ClassModel, code: str):
                                       exempt=exempt))
 
 
-def _unshared_reason(fm: FileModel, line: int):
-    """The unshared(...) escape covering a declaration at `line`: on the
-    line itself or in the contiguous comment block immediately above."""
-    if line in fm.unshared:
-        return fm.unshared[line]
+def _annot_reason(fm: FileModel, line: int, table: dict):
+    """The annotation covering a declaration/use at `line`: on the line
+    itself or in the contiguous comment block immediately above."""
+    if line in table:
+        return table[line]
     k = line - 1
     while k >= 1 and fm.raw_lines[k - 1].lstrip().startswith("//"):
-        if k in fm.unshared:
-            return fm.unshared[k]
+        if k in table:
+            return table[k]
         k -= 1
     return None
+
+
+def _unshared_reason(fm: FileModel, line: int):
+    return _annot_reason(fm, line, fm.unshared)
 
 
 def check_pda400(fm: FileModel, add, unshared_fields):
@@ -1072,6 +1126,601 @@ def mine_lock_order(models, add):
     }
 
 
+# ------------------------------------------- PDA500 / PDA510 / PDA520 ---
+
+# Codec families.  Exact-name pairs are keyed by receiver class (so the
+# inline DecisionTree::serialize in tree.hpp pairs with the out-of-line
+# deserialize in tree.cpp); prefix pairs are keyed by the shared suffix
+# within one file (put_u64/get_u64, encode_stats/decode_stats, ...).
+WIRE_EXACT_FAMILIES = (
+    ("serialize", "deserialize"),
+    ("to_bytes", "from_bytes"),
+    ("export_state", "restore_state"),
+)
+WIRE_PREFIX_FAMILIES = (
+    ("encode_", "decode_"),
+    ("put_", "get_"),
+    ("append_", "take_"),
+)
+WRITER_NAME_RE = re.compile(
+    r"^(?:serialize|to_bytes|export_state)$|^(?:encode_|put_|append_)")
+
+# Wire-read seeds for PDA510: the canonical byte-decoding entry points
+# plus every reader-prefixed function actually defined in the scanned
+# tree (so `n = get_varint(...)` taints n, but an unrelated get_-named
+# accessor in a file with no codec never becomes a seed by accident --
+# its result simply never reaches an unvalidated allocation).
+WIRE_READ_EXACT = ("deserialize", "from_bytes", "value_from_bytes",
+                   "fread")
+WIRE_READ_PREFIXES = ("decode_", "get_", "take_")
+
+# Dotted accesses that are structure traversal, not wire fields.
+DOTTED_IGNORE = {"first", "second"}
+
+DOTTED_ACCESS_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\.\s*([A-Za-z_]\w*)\b(?!\s*\()")
+
+RELOP_RE = re.compile(r"(?<![<>\-=])[<>]=?(?![<>])|[!=]=(?!=)")
+REJECT_RE = re.compile(
+    r"\bthrow\b|\breturn\b|\babort\s*\(|\bexit\s*\(|\breject\w*\s*\(")
+MINCLAMP_RE = re.compile(r"\bstd\s*::\s*(?:min|clamp)\s*[<(]")
+
+SINK_ALLOC_RE = re.compile(r"(?:\.|->)\s*(resize|reserve|assign)\s*\(")
+NEW_ARRAY_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:<>\s]*?\[")
+NARROW_CAST_RE = re.compile(
+    r"\bstatic_cast\s*<\s*(?:std::)?(?:u?int(?:8|16|32)_t|short|char|"
+    r"signed\s+char|unsigned\s+char|int|unsigned)\s*>\s*\(")
+MEMCPY_CALL_RE = re.compile(r"\bmemcpy\s*\(")
+UINTPTR_CAST_RE = re.compile(
+    r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>")
+
+# Fundamental type sizes for the padded-struct computation (LP64).
+FUND_SIZES = {
+    "bool": 1, "char": 1, "int8_t": 1, "uint8_t": 1,
+    "int16_t": 2, "uint16_t": 2, "short": 2,
+    "int": 4, "unsigned": 4, "int32_t": 4, "uint32_t": 4, "float": 4,
+    "long": 8, "size_t": 8, "int64_t": 8, "uint64_t": 8, "double": 8,
+    "ptrdiff_t": 8, "uintptr_t": 8,
+}
+
+
+def _split_args(text: str):
+    """Top-level comma split of an argument list (no outer parens)."""
+    args, depth, buf = [], 0, []
+    for c in text:
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            args.append("".join(buf))
+            buf = []
+        else:
+            buf.append(c)
+    if buf:
+        args.append("".join(buf))
+    return [a.strip() for a in args]
+
+
+def _word_in(name: str, body: str) -> bool:
+    return re.search(r"\b" + re.escape(name) + r"\b", body) is not None
+
+
+def dotted_fields(body: str, exclude: set):
+    """Ordered first-occurrence list of `x.field` accesses (calls and
+    structure-traversal names excluded), plus field -> first offset."""
+    seq, occ = [], {}
+    for m in DOTTED_ACCESS_RE.finditer(body):
+        f = m.group(2)
+        if f in exclude or f in DOTTED_IGNORE or f in occ:
+            continue
+        seq.append(f)
+        occ[f] = m.start()
+    return seq, occ
+
+
+def _fn_level_reason(fm: FileModel, fn: Function, table: dict):
+    """A function-level annotation: any line inside the function extent
+    (PDA300 io-wrapper convention) or the comment block above its head."""
+    for line in range(fn.start_line, fn.end_line + 1):
+        if line in table:
+            return table[line]
+    return _annot_reason(fm, fn.start_line, table)
+
+
+def _class_registry(models):
+    """name -> [(fm, ClassModel)] for every named class in the run."""
+    reg = {}
+    for fm in models:
+        for cls in fm.classes:
+            reg.setdefault(cls.name, []).append((fm, cls))
+    return reg
+
+
+def _collect_codec_pairs(models):
+    """Pair writer/reader functions per the wire families.  Yields
+    (display_key, cls_name, writer_fns, reader_fns)."""
+    writers, readers = {}, {}
+    for fm in models:
+        for fn in fm.functions:
+            for w, r in WIRE_EXACT_FAMILIES:
+                scope = fn.cls or fm.path
+                if fn.name == w:
+                    writers.setdefault(("cls", scope, w), []).append(fn)
+                elif fn.name == r:
+                    readers.setdefault(("cls", scope, w), []).append(fn)
+            for wp, rp in WIRE_PREFIX_FAMILIES:
+                if fn.name.startswith(wp) and len(fn.name) > len(wp):
+                    key = ("sfx", fm.path, wp, fn.name[len(wp):])
+                    writers.setdefault(key, []).append(fn)
+                elif fn.name.startswith(rp) and len(fn.name) > len(rp):
+                    key = ("sfx", fm.path, wp, fn.name[len(rp):])
+                    readers.setdefault(key, []).append(fn)
+    pairs = []
+    for key in sorted(set(writers) & set(readers)):
+        kind, scope, family = key[0], key[1], key[2]
+        cls_name = scope if kind == "cls" and "/" not in scope else ""
+        display = (f"{scope}::{family}/..." if cls_name
+                   else f"{scope}:{family}*{key[3] if kind == 'sfx' else ''}")
+        pairs.append((display, cls_name, writers[key], readers[key]))
+    return pairs
+
+
+def check_pda500(models, add, codec_pairs):
+    by_path = {fm.path: fm for fm in models}
+    class_reg = _class_registry(models)
+    for display, cls_name, wfns, rfns in _collect_codec_pairs(models):
+        wfm = by_path[wfns[0].path]
+        rfm = by_path[rfns[0].path]
+        entry = {"key": display, "class": cls_name,
+                 "writer": {"file": wfns[0].path,
+                            "line": wfns[0].start_line,
+                            "function": wfns[0].name},
+                 "reader": {"file": rfns[0].path,
+                            "line": rfns[0].start_line,
+                            "function": rfns[0].name},
+                 "fields": [], "nonwire": [], "findings": 0}
+        before = entry["findings"]
+
+        def pair_add(fm, line, message, fn_name=""):
+            entry["findings"] += 1
+            add(fm, line, "PDA500", fn_name, message)
+
+        def nonwire_ok(fm, line, field):
+            reason = _annot_reason(fm, line, fm.nonwire)
+            if reason is None:
+                return False
+            if not reason:
+                pair_add(fm, line,
+                         "pdc: nonwire() annotation must carry a reason")
+            else:
+                entry["nonwire"].append({"field": field, "line": line,
+                                         "reason": reason})
+            return True
+
+        member_names = set()
+        cls_hits = class_reg.get(cls_name, [])
+        wbody = "\n".join(f.body for f in wfns)
+        rbody = "\n".join(f.body for f in rfns)
+        if cls_name and len(cls_hits) == 1:
+            cfm, cls = cls_hits[0]
+            member_names = {mem.name for mem in cls.members}
+            for mem in cls.members:
+                if mem.exempt:
+                    continue
+                w, r = _word_in(mem.name, wbody), _word_in(mem.name, rbody)
+                if w and r:
+                    entry["fields"].append(mem.name)
+                    continue
+                if nonwire_ok(cfm, mem.line, f"{cls_name}::{mem.name}"):
+                    continue
+                if w and not r:
+                    pair_add(cfm, mem.line,
+                             f"{cls_name}::{mem.name} is written by "
+                             f"{wfns[0].name}() but never read by "
+                             f"{rfns[0].name}() (annotate pdc: "
+                             "nonwire(reason) if it is off the wire)")
+                elif r and not w:
+                    pair_add(cfm, mem.line,
+                             f"{cls_name}::{mem.name} is read by "
+                             f"{rfns[0].name}() but never written by "
+                             f"{wfns[0].name}()")
+                else:
+                    pair_add(cfm, mem.line,
+                             f"{cls_name}::{mem.name} appears on neither "
+                             f"side of the {wfns[0].name}/{rfns[0].name} "
+                             "codec (forgotten field? annotate pdc: "
+                             "nonwire(reason) if it is off the wire)")
+
+        # Dotted tier: ordered non-member field accesses, single-def
+        # pairs only (overload merging would scramble the order).
+        if len(wfns) == 1 and len(rfns) == 1:
+            wfn, rfn = wfns[0], rfns[0]
+            wseq, wocc = dotted_fields(wfn.body, member_names)
+            rseq, rocc = dotted_fields(rfn.body, member_names)
+            if wseq and not rseq:
+                if not _fn_level_reason(rfm, rfn, rfm.nonwire):
+                    pair_add(rfm, rfn.start_line,
+                             f"{rfn.name}() reads no individual fields "
+                             f"while {wfn.name}() writes "
+                             f"[{', '.join(wseq)}] (bulk/stream decoder? "
+                             "annotate the function pdc: nonwire(reason))",
+                             rfn.name)
+                else:
+                    entry["nonwire"].append(
+                        {"field": f"{rfn.name}()",
+                         "line": rfn.start_line,
+                         "reason": _fn_level_reason(rfm, rfn,
+                                                    rfm.nonwire)})
+            elif rseq and not wseq:
+                if not _fn_level_reason(wfm, wfn, wfm.nonwire):
+                    pair_add(wfm, wfn.start_line,
+                             f"{wfn.name}() writes no individual fields "
+                             f"while {rfn.name}() reads "
+                             f"[{', '.join(rseq)}] (bulk/stream encoder? "
+                             "annotate the function pdc: nonwire(reason))",
+                             wfn.name)
+            elif wseq and rseq:
+                dropped = set()
+                for f in wseq:
+                    if f in rocc:
+                        continue
+                    line = wfn.body.count("\n", 0, wocc[f]) \
+                        + wfn.start_line
+                    dropped.add(f)
+                    if not nonwire_ok(wfm, line, f):
+                        pair_add(wfm, line, f"field .{f} is written by "
+                                 f"{wfn.name}() but never read by "
+                                 f"{rfn.name}()", wfn.name)
+                for f in rseq:
+                    if f in wocc:
+                        continue
+                    line = rfn.body.count("\n", 0, rocc[f]) \
+                        + rfn.start_line
+                    dropped.add(f)
+                    if not nonwire_ok(rfm, line, f):
+                        pair_add(rfm, line, f"field .{f} is read by "
+                                 f"{rfn.name}() but never written by "
+                                 f"{wfn.name}()", rfn.name)
+                wc = [f for f in wseq if f in rocc and f not in dropped]
+                rc = [f for f in rseq if f in wocc and f not in dropped]
+                entry["fields"].extend(wc)
+                if wc != rc:
+                    pair_add(rfm, rfn.start_line,
+                             f"{rfn.name}() reads fields in a different "
+                             f"order than {wfn.name}() writes them "
+                             f"(written: {', '.join(wc)}; read: "
+                             f"{', '.join(rc)})", rfn.name)
+        entry["ok"] = entry["findings"] == before == 0
+        codec_pairs.append(entry)
+
+
+def _wire_reader_names(models):
+    names = set(WIRE_READ_EXACT)
+    for fm in models:
+        for fn in fm.functions:
+            if any(fn.name.startswith(p) and len(fn.name) > len(p)
+                   for p in WIRE_READ_PREFIXES):
+                names.add(fn.name)
+    return names
+
+
+def build_throwers(models):
+    """Function names whose every definition throws (or transitively
+    calls a thrower): loop bodies consuming these are self-validating."""
+    defs = {}
+    for fm in models:
+        for fn in fm.functions:
+            defs.setdefault(fn.name, []).append(fn)
+    throws = {name for name, fns in defs.items()
+              if all(re.search(r"\bthrow\b", fn.body) for fn in fns)}
+    changed = True
+    while changed:
+        changed = False
+        for name, fns in defs.items():
+            if name in throws:
+                continue
+            if all(re.search(r"\bthrow\b", fn.body) or fn.calls & throws
+                   for fn in fns):
+                throws.add(name)
+                changed = True
+    return throws
+
+
+def _taint_map(fn: Function, seed_call_re):
+    """var -> earliest taint offset, from wire-read assignments, fread
+    out-params, rejected-call out-params, and propagation."""
+    body = fn.body
+    taint_at = {}
+    for m in re.finditer(r"\bfread\s*\(\s*&?\s*([A-Za-z_]\w*)", body):
+        taint_at.setdefault(m.group(1), m.start())
+    # `if (!get_u64(raw, at, count))` -- the rejected-call out-param
+    # idiom: the last bare-identifier argument receives the value.
+    for m in re.finditer(r"!\s*" + seed_call_re.pattern, body):
+        close = match_paren(body, body.index("(", m.start()))
+        args = _split_args(body[body.index("(", m.start()) + 1:close - 1])
+        if args and re.fullmatch(r"&?\s*[A-Za-z_]\w*", args[-1]):
+            taint_at.setdefault(args[-1].lstrip("& "), m.start())
+    stmts = [(m.start(1), m.group(1), m.group(2)) for m in
+             re.finditer(r"\b([A-Za-z_]\w*)\s*(?:=|\+=)\s*([^;=][^;]*);",
+                         body)]
+    changed = True
+    while changed:
+        changed = False
+        for off, lhs, rhs in stmts:
+            if lhs in taint_at and taint_at[lhs] <= off:
+                continue
+            if MINCLAMP_RE.search(rhs):
+                continue  # clamped at the source: bounded by construction
+            if seed_call_re.search(rhs) or any(
+                    re.search(r"\b" + re.escape(v) + r"\b", rhs)
+                    for v in taint_at):
+                if lhs not in taint_at or off < taint_at[lhs]:
+                    taint_at[lhs] = off
+                    changed = True
+    return taint_at
+
+
+def _validations(body: str):
+    """[(idents, guard_end, region_start, region_end, rejects)] for every
+    if/while/for condition containing a relational comparison."""
+    out = []
+    for m in re.finditer(r"\b(if|while|for)\s*\(", body):
+        open_paren = m.end() - 1
+        close = match_paren(body, open_paren)
+        cond = body[open_paren:close]
+        if m.group(1) == "for":
+            parts = cond.split(";")
+            cond = parts[1] if len(parts) >= 2 else cond
+        if not RELOP_RE.search(cond):
+            continue
+        idents = set(re.findall(r"\b[A-Za-z_]\w*\b", cond))
+        j = close
+        while j < len(body) and body[j] in " \t\n":
+            j += 1
+        if j < len(body) and body[j] == "{":
+            region_start, region_end = j, match_brace(body, j)
+        else:
+            region_start = j
+            region_end = body.find(";", j)
+            region_end = len(body) if region_end < 0 else region_end + 1
+        rejects = bool(REJECT_RE.search(body[region_start:region_end]))
+        out.append((idents, close, region_start, region_end, rejects))
+    return out
+
+
+def check_pda510(fm: FileModel, add, untrusted_flows, reader_names,
+                 throwers):
+    seed_call_re = re.compile(
+        r"\b(?:" + "|".join(sorted(re.escape(n) for n in reader_names))
+        + r")\s*(?:<[^;(]*>)?\s*\(")
+    for fn in fm.functions:
+        body = fn.body
+        if not seed_call_re.search(body):
+            continue
+        taint_at = _taint_map(fn, seed_call_re)
+        if not taint_at:
+            continue
+        vals = _validations(body)
+        emitted = set()  # (var, line): one finding per value per line
+
+        def flagged(var, off):
+            if var not in taint_at or off < taint_at[var]:
+                return False
+            for idents, guard_end, rs, re_, rejects in vals:
+                if var not in idents:
+                    continue
+                if rejects and guard_end <= off:
+                    return False
+                if rs <= off < re_:
+                    return False
+            return True
+
+        def emit(off, var, sink):
+            line = body.count("\n", 0, off) + fn.start_line
+            if (var, line) in emitted:
+                return
+            emitted.add((var, line))
+            untrusted_flows.append({"file": fm.path, "line": line,
+                                    "function": fn.name, "variable": var,
+                                    "sink": sink})
+            add(fm, line, "PDA510", fn.name,
+                f"wire-derived value '{var}' flows into {sink} without "
+                "a validated bound (compare it against a limit and "
+                "throw/reject first, or clamp with std::min)")
+
+        for m in SINK_ALLOC_RE.finditer(body):
+            close = match_paren(body, m.end() - 1)
+            args = body[m.end():close]
+            if MINCLAMP_RE.search(args):
+                continue
+            for var in taint_at:
+                if _word_in(var, args) and flagged(var, m.start()):
+                    emit(m.start(), var,
+                         f"an allocation size ({m.group(1)})")
+                    break
+        for m in NEW_ARRAY_RE.finditer(body):
+            close = body.find("]", m.end())
+            args = body[m.end():close if close > 0 else len(body)]
+            for var in taint_at:
+                if _word_in(var, args) and flagged(var, m.start()):
+                    emit(m.start(), var, "a new[] extent")
+                    break
+        # Sized container construction: vector<T> nodes(count).
+        for m in re.finditer(
+                r"\b(?:std::)?(?:vector|deque|string)\s*<[^;(]*>\s+"
+                r"[A-Za-z_]\w*\s*\(([^;()]*)\)", body):
+            args = m.group(1)
+            if MINCLAMP_RE.search(args):
+                continue
+            for var in taint_at:
+                if _word_in(var, args) and flagged(var, m.start()):
+                    emit(m.start(), var, "a container constructor extent")
+                    break
+        for m in NARROW_CAST_RE.finditer(body):
+            close = match_paren(body, m.end() - 1)
+            args = body[m.end() - 1:close]
+            if MINCLAMP_RE.search(args):
+                continue
+            for var in taint_at:
+                if _word_in(var, args) and flagged(var, m.start()):
+                    emit(m.start(), var, "a narrowing cast")
+                    break
+        for m in MEMCPY_CALL_RE.finditer(body):
+            close = match_paren(body, body.index("(", m.start()))
+            args = _split_args(
+                body[body.index("(", m.start()) + 1:close - 1])
+            if len(args) < 3 or MINCLAMP_RE.search(args[2]):
+                continue
+            for var in taint_at:
+                if _word_in(var, args[2]) and flagged(var, m.start()):
+                    emit(m.start(), var, "a memcpy length")
+                    break
+        for var, first in taint_at.items():
+            for m in re.finditer(
+                    r"\[([^\[\]]*\b" + re.escape(var) + r"\b[^\[\]]*)\]",
+                    body):
+                if MINCLAMP_RE.search(m.group(1)):
+                    continue
+                if flagged(var, m.start()):
+                    emit(m.start(), var, "an array index")
+                    break
+        # Tainted loop bounds: fine when the body throws (directly or
+        # through a bounds-checked reader), lethal when it trusts the
+        # count blindly.
+        for m in re.finditer(r"\b(while|for)\s*\(", body):
+            open_paren = m.end() - 1
+            close = match_paren(body, open_paren)
+            cond = body[open_paren:close]
+            if m.group(1) == "for":
+                parts = cond.split(";")
+                cond = parts[1] if len(parts) >= 2 else cond
+            j = close
+            while j < len(body) and body[j] in " \t\n":
+                j += 1
+            if j < len(body) and body[j] == "{":
+                loop_body = body[j:match_brace(body, j)]
+            else:
+                end = body.find(";", j)
+                loop_body = body[j:end if end > 0 else len(body)]
+            if REJECT_RE.search(loop_body) or any(
+                    c in throwers for c in
+                    re.findall(r"\b([A-Za-z_]\w*)\s*\(", loop_body)):
+                continue
+            for var in taint_at:
+                if _word_in(var, cond) and flagged(var, m.start()):
+                    emit(m.start(), var, "a loop bound")
+                    break
+
+
+def _struct_layout(cls: ClassModel, class_reg, seen=None):
+    """(size, align, padded) for an all-fundamental (recursively) class,
+    or None when any member type is unresolvable."""
+    seen = seen or set()
+    if cls.name in seen or not cls.members:
+        return None
+    seen = seen | {cls.name}
+    off, align, padded = 0, 1, False
+    for mem in cls.members:
+        t = re.sub(r"^(?:const\s+)?(?:std::)?", "", mem.type.strip())
+        if "*" in t or "&" in t:
+            sz, al = 8, 8
+        elif t in FUND_SIZES:
+            sz = al = FUND_SIZES[t]
+        else:
+            hits = class_reg.get(t.split("<")[0], [])
+            if len(hits) != 1:
+                return None
+            sub = _struct_layout(hits[0][1], class_reg, seen)
+            if sub is None:
+                return None
+            sz, al, sub_padded = sub
+            padded = padded or sub_padded
+        if off % al:
+            padded = True
+            off += al - off % al
+        off += sz
+        align = max(align, al)
+    if off % align:
+        padded = True
+        off += align - off % align
+    return off, align, padded
+
+
+def check_pda520(fm: FileModel, add, class_reg):
+    writer_helper_re = re.compile(
+        r"\b((?:put_|append_|encode_)\w+)\s*(?:<[^;(]*>)?\s*\(")
+    for fn in fm.functions:
+        if not WRITER_NAME_RE.match(fn.name):
+            continue
+        body = fn.body
+        for m in UINTPTR_CAST_RE.finditer(body):
+            line = body.count("\n", 0, m.start()) + fn.start_line
+            add(fm, line, "PDA520", fn.name,
+                "pointer value cast to uintptr_t in a serialize path "
+                "(addresses differ between runs; write a stable id "
+                "instead)")
+        for m in writer_helper_re.finditer(body):
+            close = match_paren(body, body.index("(", m.start()))
+            args = _split_args(
+                body[body.index("(", m.start()) + 1:close - 1])
+            for a in args[1:]:
+                if re.fullmatch(r"&\s*[A-Za-z_][\w.\[\]]*", a) \
+                        or a == "this":
+                    line = body.count("\n", 0, m.start()) + fn.start_line
+                    add(fm, line, "PDA520", fn.name,
+                        f"address-of argument {a} passed as a wire value "
+                        f"to {m.group(1)}() (pointer bytes are not "
+                        "reproducible)")
+        # Unordered-container iteration in a writer: member or local.
+        unordered = {m.group(1) for m in re.finditer(
+            r"unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*"
+            r"([A-Za-z_]\w*)", body)}
+        for cfm, cls in class_reg.get(fn.cls, []):
+            unordered |= {mem.name for mem in cls.members
+                          if "unordered_" in mem.type}
+        if not re.search(r"\bsort\w*\s*\(|\bsorted_", body):
+            for m in re.finditer(
+                    r"\bfor\s*\([^;()]*?:\s*([A-Za-z_]\w*)\s*\)", body):
+                if m.group(1) in unordered:
+                    line = body.count("\n", 0, m.start()) + fn.start_line
+                    add(fm, line, "PDA520", fn.name,
+                        f"iteration over unordered container "
+                        f"'{m.group(1)}' in a serialize path (the wire "
+                        "order is hash-seed dependent; iterate sorted "
+                        "keys instead)")
+        # Whole-struct memcpy of a padded type without a memset scrub.
+        for m in MEMCPY_CALL_RE.finditer(body):
+            close = match_paren(body, body.index("(", m.start()))
+            args = _split_args(
+                body[body.index("(", m.start()) + 1:close - 1])
+            if len(args) < 3 or "sizeof" not in args[2]:
+                continue
+            src = re.fullmatch(r"&\s*([A-Za-z_]\w*)", args[1])
+            if not src:
+                continue
+            obj = src.group(1)
+            tm = re.search(r"\b([A-Za-z_][\w:]*)\s+" + re.escape(obj)
+                           + r"\s*[;={]", body)
+            if not tm:
+                continue
+            tname = tm.group(1).split("::")[-1]
+            hits = class_reg.get(tname, [])
+            if len(hits) != 1:
+                continue
+            layout = _struct_layout(hits[0][1], class_reg)
+            if layout is None or not layout[2]:
+                continue
+            if re.search(r"\bmemset\s*\(\s*&\s*" + re.escape(obj),
+                         body[:m.start()]):
+                continue
+            line = body.count("\n", 0, m.start()) + fn.start_line
+            add(fm, line, "PDA520", fn.name,
+                f"memcpy of struct {tname} (has padding bytes) into a "
+                "serialize path without a memset scrub (uninitialized "
+                "padding leaks into the wire image)")
+
+
 # ------------------------------------------------------ libclang frontend ---
 
 def try_libclang_pda100(models, build_dir, findings, add):
@@ -1147,6 +1796,8 @@ def analyze(paths, mode, build_dir):
     incore_zones = []
     io_wrappers = []
     unshared_fields = []
+    codec_pairs = []
+    untrusted_flows = []
 
     def add(fm: FileModel, line: int, rule_id: str, function: str,
             message: str):
@@ -1167,6 +1818,10 @@ def analyze(paths, mode, build_dir):
                 f"{rule_id} suppression without a '-- reason'")
 
     reaches = build_call_graph(models)
+    class_reg = _class_registry(models)
+    for fm in models:
+        for fn in fm.functions:
+            fn.cls = fn.qual or _innermost_class(fm, fn)
 
     used_libclang = False
     if mode in ("auto", "libclang"):
@@ -1186,6 +1841,12 @@ def analyze(paths, mode, build_dir):
         check_pda300(fm, add, io_wrappers)
         check_pda400(fm, add, unshared_fields)
     lock_order = mine_lock_order(models, add)
+    check_pda500(models, add, codec_pairs)
+    reader_names = _wire_reader_names(models)
+    throwers = build_throwers(models)
+    for fm in models:
+        check_pda510(fm, add, untrusted_flows, reader_names, throwers)
+        check_pda520(fm, add, class_reg)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     by_check = {c.rule_id: 0 for c in CHECKS}
@@ -1210,13 +1871,20 @@ def analyze(paths, mode, build_dir):
         "unshared_fields": sorted(unshared_fields,
                                   key=lambda u: (u["file"], u["line"])),
         "lock_order": lock_order,
+        "codec_pairs": sorted(codec_pairs, key=lambda p: p["key"]),
+        "untrusted_flows": sorted(untrusted_flows,
+                                  key=lambda u: (u["file"], u["line"])),
         "summary": {"findings": len(findings), "by_check": by_check,
                     "suppressed": len(suppressions),
                     "incore_zones": len(incore_zones),
                     "io_wrappers": len(io_wrappers),
                     "unshared_fields": len(unshared_fields),
                     "lock_edges": len(lock_order["edges"]),
-                    "lock_cycles": len(lock_order["cycles"])},
+                    "lock_cycles": len(lock_order["cycles"]),
+                    "codec_pairs": len(codec_pairs),
+                    "nonwire_fields": sum(len(p["nonwire"])
+                                          for p in codec_pairs),
+                    "untrusted_flows": len(untrusted_flows)},
     }
     return findings, report
 
@@ -1299,7 +1967,11 @@ def main(argv=None) -> int:
           f"{s['io_wrappers']} io wrapper(s), "
           f"{s.get('unshared_fields', 0)} unshared field(s), lock graph "
           f"{s.get('lock_edges', 0)} edge(s) / "
-          f"{s.get('lock_cycles', 0)} cycle(s)", file=sys.stderr)
+          f"{s.get('lock_cycles', 0)} cycle(s), "
+          f"{s.get('codec_pairs', 0)} codec pair(s) / "
+          f"{s.get('nonwire_fields', 0)} nonwire, "
+          f"{s.get('untrusted_flows', 0)} untrusted flow(s)",
+          file=sys.stderr)
     return 1 if findings else 0
 
 

@@ -32,6 +32,12 @@ silently break them:
                               memory-order argument; the default seq_cst
                               hides the intended ordering contract and
                               costs fences on weakly-ordered targets
+  PDC010 raw-wire-cast        no reinterpret_cast / raw memcpy in library
+                              code outside the designated codec helpers
+                              (mp/serialize.hpp); every other byte-level
+                              transmutation is a wire-format decision and
+                              must carry a reasoned suppression so the
+                              full inventory is greppable
   PDC000 bare-suppression     a pdc-lint suppression must carry a reason
 
 Suppress a finding with a trailing comment carrying a justification:
@@ -75,6 +81,15 @@ PDC004_ALLOWLIST = (
 # the thread-safety analysis can see.
 PDC008_ALLOWLIST = (
     "src/common/sync.hpp",
+)
+
+# The designated byte-transmutation helpers: mp::to_bytes/from_bytes are
+# the blessed primitive every codec is supposed to build on.  Every other
+# reinterpret_cast/memcpy in src/ must either migrate to them or carry an
+# allow(PDC010) with a reason, which makes
+# `grep -rn 'allow(PDC010)' src` the complete inventory of raw wire casts.
+PDC010_ALLOWLIST = (
+    "src/mp/serialize.hpp",
 )
 
 SUPPRESS_RE = re.compile(
@@ -123,6 +138,9 @@ RULES = [
          "(common/sync.hpp)", True),
     Rule("PDC009", "implicit-seq-cst",
          "std::atomic op without an explicit memory-order argument", True),
+    Rule("PDC010", "raw-wire-cast",
+         "reinterpret_cast/memcpy outside the designated codec helpers "
+         "(mp/serialize.hpp)", True),
 ]
 
 # Line-scoped patterns per rule.  The code view has comments and string
@@ -169,6 +187,10 @@ LINE_PATTERNS = {
     "PDC008": [
         re.compile(r"(?:\.|->)\s*(?:try_)?lock\s*\(\s*\)"),
         re.compile(r"(?:\.|->)\s*unlock\s*\(\s*\)"),
+    ],
+    "PDC010": [
+        re.compile(r"\breinterpret_cast\s*<"),
+        re.compile(_NOT_MEMBER + r"(?:std::)?memcpy\s*\("),
     ],
 }
 
@@ -374,6 +396,8 @@ def lint_file(path: str, assume_src: bool):
         if rule_id == "PDC004" and any(rel == a for a in PDC004_ALLOWLIST):
             continue
         if rule_id == "PDC008" and any(rel == a for a in PDC008_ALLOWLIST):
+            continue
+        if rule_id == "PDC010" and any(rel == a for a in PDC010_ALLOWLIST):
             continue
         for lineno, line in enumerate(code_lines, start=1):
             if any(p.search(line) for p in patterns):

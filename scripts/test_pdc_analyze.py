@@ -47,6 +47,9 @@ class NegativeFixtures(unittest.TestCase):
         "bad_pda300_io.cpp": "PDA300",
         "bad_pda400_unguarded.cpp": "PDA400",
         "bad_pda410_cycle.cpp": "PDA410",
+        "bad_pda500_codec.cpp": "PDA500",
+        "bad_pda510_narrowing.cpp": "PDA510",
+        "bad_pda520_nondet.cpp": "PDA520",
     }
 
     def test_marker_lines_match_findings_exactly(self):
@@ -82,7 +85,7 @@ class Report(unittest.TestCase):
         by_check = report["summary"]["by_check"]
         self.assertEqual(sorted(by_check),
                          ["PDA100", "PDA200", "PDA300", "PDA400",
-                          "PDA410"])
+                          "PDA410", "PDA500", "PDA510", "PDA520"])
         for rule in by_check:
             self.assertEqual(by_check[rule],
                              sum(1 for f in findings if f.rule == rule))
@@ -165,6 +168,112 @@ class LockOrder(unittest.TestCase):
         self.assertGreater(len(report["unshared_fields"]), 0)
         for u in report["unshared_fields"]:
             self.assertTrue(u["reason"], f"bare unshared field: {u}")
+
+
+class CodecPairs(unittest.TestCase):
+    """The PDA500 codec-pair inventory: pairs are discovered across both
+    naming families, asymmetries are counted, nonwire annotations are
+    inventoried with reasons, and the repo's own codecs prove symmetric."""
+
+    def test_fixture_pairs_are_inventoried(self):
+        _, report = analyze_fixture("bad_pda500_codec.cpp")
+        pairs = {p["key"]: p for p in report["codec_pairs"]}
+        self.assertEqual(len(pairs), 2)
+        cls = pairs["Telemetry::serialize/..."]
+        self.assertEqual(cls["class"], "Telemetry")
+        self.assertEqual(cls["writer"]["function"], "serialize")
+        self.assertEqual(cls["reader"]["function"], "deserialize")
+        self.assertEqual(cls["fields"], ["epoch_", "samples_"])
+        self.assertEqual(cls["findings"], 3)
+        self.assertFalse(cls["ok"])
+        self.assertEqual(
+            [n["field"] for n in cls["nonwire"]],
+            ["Telemetry::scratch_"])
+        for n in cls["nonwire"]:
+            self.assertTrue(n["reason"], f"bare nonwire entry: {n}")
+        sfx = next(p for k, p in pairs.items() if "encode_" in k)
+        self.assertEqual(sfx["writer"]["function"], "encode_packet")
+        self.assertEqual(sfx["reader"]["function"], "decode_packet")
+        self.assertEqual(sfx["findings"], 2)
+
+    def test_deleting_one_field_write_yields_exactly_pda500(self):
+        scratch = (
+            "#include <cstdint>\n"
+            "#include <vector>\n"
+            "class Pair {\n"
+            " public:\n"
+            "  std::vector<std::uint64_t> serialize() const {\n"
+            "    std::vector<std::uint64_t> out;\n"
+            "    out.push_back(a_);\n"
+            "    out.push_back(b_);\n"
+            "    return out;\n"
+            "  }\n"
+            "  void deserialize(const std::vector<std::uint64_t>& in) {\n"
+            "    a_ = in.at(0);\n"
+            "    b_ = in.at(1);\n"
+            "  }\n"
+            " private:\n"
+            "  std::uint64_t a_ = 0;\n"
+            "  std::uint64_t b_ = 0;\n"
+            "};\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "pair_codec.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(scratch)
+            findings, report = pdc_analyze.analyze([path], "ast-lite",
+                                                   "build")
+            self.assertEqual([f.render() for f in findings], [])
+            self.assertTrue(all(p["ok"] for p in report["codec_pairs"]))
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(scratch.replace("    out.push_back(b_);\n", ""))
+            findings, report = pdc_analyze.analyze([path], "ast-lite",
+                                                   "build")
+            self.assertEqual([f.rule for f in findings], ["PDA500"])
+            self.assertIn("never written", findings[0].message)
+            self.assertFalse(report["codec_pairs"][0]["ok"])
+
+    def test_repo_codec_pairs_are_symmetric_with_reasons(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        _, report = pdc_analyze.analyze([src], "ast-lite", "build")
+        pairs = {p["key"]: p for p in report["codec_pairs"]}
+        self.assertIn("QuantileSketch::serialize/...", pairs)
+        self.assertIn("DecisionTree::serialize/...", pairs)
+        self.assertIn("CloudsProblem::export_state/...", pairs)
+        for key, p in pairs.items():
+            self.assertTrue(p["ok"], f"asymmetric repo codec: {key}")
+            for n in p["nonwire"]:
+                self.assertTrue(n["reason"], f"bare nonwire in {key}")
+        self.assertEqual(report["summary"]["codec_pairs"], len(pairs))
+
+
+class UntrustedFlows(unittest.TestCase):
+    """The PDA510 untrusted-flow inventory mirrors the findings sink by
+    sink, and the hardened repo decoders publish an empty inventory."""
+
+    def test_fixture_flows_cover_every_sink_kind(self):
+        findings, report = analyze_fixture("bad_pda510_narrowing.cpp")
+        flows = report["untrusted_flows"]
+        self.assertEqual(len(flows), len(findings))
+        self.assertEqual(
+            {(f["file"], f["line"]) for f in flows},
+            {(f.path, f.line) for f in findings})
+        sinks = {f["sink"] for f in flows}
+        for expected in ("an allocation size (resize)",
+                         "a container constructor extent",
+                         "a new[] extent", "a narrowing cast",
+                         "a memcpy length", "an array index",
+                         "a loop bound"):
+            self.assertIn(expected, sinks)
+        self.assertEqual(
+            {f["function"] for f in flows},
+            {"parse_values", "parse_table", "parse_floats", "parse_port",
+             "parse_blob", "parse_pick", "parse_sum"})
+
+    def test_repo_has_no_untrusted_flows(self):
+        src = os.path.join(pdc_analyze.REPO_ROOT, "src")
+        _, report = pdc_analyze.analyze([src], "ast-lite", "build")
+        self.assertEqual(report["untrusted_flows"], [])
+        self.assertEqual(report["summary"]["untrusted_flows"], 0)
 
 
 class TaintEngine(unittest.TestCase):

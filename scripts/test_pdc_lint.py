@@ -45,6 +45,7 @@ class PositiveFixtures(unittest.TestCase):
         "bad_span_name.cpp": "PDC007",
         "bad_raw_lock.cpp": "PDC008",
         "bad_seqcst_atomic.cpp": "PDC009",
+        "bad_raw_wire_cast.cpp": "PDC010",
     }
 
     def test_annotated_lines_match_findings_exactly(self):
@@ -139,6 +140,32 @@ class Pdc008Allowlist(unittest.TestCase):
     def test_raw_lock_flagged_elsewhere_in_src(self):
         findings = lint_fixture("bad_raw_lock.cpp")
         self.assertEqual({f.rule for f in findings}, {"PDC008"})
+
+
+class Pdc010Allowlist(unittest.TestCase):
+    def test_codec_helper_layer_is_exempt(self):
+        for rel in pdc_lint.PDC010_ALLOWLIST:
+            path = os.path.join(pdc_lint.REPO_ROOT, rel)
+            self.assertTrue(os.path.isfile(path),
+                            f"allowlist entry vanished: {rel}")
+            rules = {f.rule for f in pdc_lint.lint_file(path, False)}
+            self.assertNotIn("PDC010", rules)
+
+    def test_raw_wire_cast_flagged_elsewhere_in_src(self):
+        findings = lint_fixture("bad_raw_wire_cast.cpp")
+        self.assertEqual({f.rule for f in findings}, {"PDC010"})
+
+    def test_reasoned_allow_suppresses_and_is_greppable(self):
+        # The fixture's final memcpy carries allow(PDC010) with a reason:
+        # no finding, and the annotation itself is the inventory line.
+        path = os.path.join(FIXTURES, "bad_raw_wire_cast.cpp")
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("allow(PDC010) --", text)
+        flagged = {f.line for f in lint_fixture("bad_raw_wire_cast.cpp")}
+        allow_line = next(i for i, line in enumerate(text.splitlines(), 1)
+                          if "allow(PDC010)" in line and "memcpy" in line)
+        self.assertNotIn(allow_line, flagged)
 
 
 class Pdc009ArgumentScan(unittest.TestCase):

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "clouds/tree.hpp"
+#include "common/wire.hpp"
 
 namespace pdc::clouds {
 
@@ -58,23 +59,36 @@ inline std::uint32_t peek_model_magic(const std::filesystem::path& path) {
 inline DecisionTree load_tree(const std::filesystem::path& path) {
   // pdc: io-wrapper(model persistence at the run boundary, outside the modeled timeline)
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw std::runtime_error("load_tree: cannot open " + path.string());
+  if (!f) throw WireError("load_tree: cannot open " + path.string());
   detail::TreeHeader header;
   if (std::fread(&header, sizeof(header), 1, f) != 1) {
     std::fclose(f);
-    throw std::runtime_error("load_tree: truncated header " + path.string());
+    throw WireError("load_tree: truncated header " + path.string());
   }
   if (header.magic != detail::kTreeMagic ||
       header.version != detail::kTreeVersion) {
     std::fclose(f);
-    throw std::runtime_error("load_tree: bad magic/version " + path.string());
+    throw WireError("load_tree: bad magic/version " + path.string());
+  }
+  // Size the claim against the actual file before allocating: a corrupt
+  // node_count must not turn into a multi-gigabyte allocation attempt.
+  const long payload_start = std::ftell(f);
+  std::fseek(f, 0, SEEK_END);
+  const long file_end = std::ftell(f);
+  std::fseek(f, payload_start, SEEK_SET);
+  const auto payload =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  if (header.node_count > payload / sizeof(TreeNode)) {
+    std::fclose(f);
+    throw WireError("load_tree: node count overruns the file " +
+                    path.string());
   }
   std::vector<TreeNode> nodes(header.node_count);
   if (header.node_count != 0 &&
       std::fread(nodes.data(), sizeof(TreeNode), nodes.size(), f) !=
           nodes.size()) {
     std::fclose(f);
-    throw std::runtime_error("load_tree: truncated nodes " + path.string());
+    throw WireError("load_tree: truncated nodes " + path.string());
   }
   std::fclose(f);
   return DecisionTree::deserialize(std::move(nodes));

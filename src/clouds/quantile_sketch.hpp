@@ -21,6 +21,8 @@
 #include <span>
 #include <vector>
 
+#include "common/wire.hpp"
+
 namespace pdc::clouds {
 
 class QuantileSketch {
@@ -85,10 +87,12 @@ class QuantileSketch {
     return out;
   }
 
-  /// Wire format: [k][count][nlevels][{size, values...} per level], all as
-  /// floats/u64 packed into floats' worth of bytes via a flat float vector
-  /// prefixed by a small header of u64s encoded as pairs of floats would be
-  /// lossy — so the codec uses a raw byte layout instead.
+  /// Wire format: [k][count][nlevels][{size, values...} per level]
+  /// [ncompactions][offsets...], u64 headers and raw float payloads.
+  /// The compaction parities travel with the levels: a resumed sketch
+  /// must continue the alternating-offset sequence where the original
+  /// stopped, or the first post-resume compaction diverges from an
+  /// uninterrupted run and the ranks stop agreeing on boundaries.
   std::vector<std::byte> serialize() const {
     std::vector<std::byte> out;
     append_u64(out, k_);
@@ -96,25 +100,44 @@ class QuantileSketch {
     append_u64(out, levels_.size());
     for (const auto& lvl : levels_) {
       append_u64(out, lvl.size());
-      const auto* bytes = reinterpret_cast<const std::byte*>(lvl.data());
+      const auto* bytes = reinterpret_cast<const std::byte*>(lvl.data());  // pdc-lint: allow(PDC010) -- float payload onto the wire; layout documented above
       out.insert(out.end(), bytes, bytes + lvl.size() * sizeof(float));
     }
+    append_u64(out, compactions_.size());
+    for (const std::uint64_t c : compactions_) append_u64(out, c);
     return out;
   }
 
   /// Inverse of serialize(); advances `offset` past the consumed bytes.
+  /// Throws pdc::WireError on truncated input or an implausible count.
   static QuantileSketch deserialize(std::span<const std::byte> bytes,
                                     std::size_t& offset) {
-    QuantileSketch s(take_u64(bytes, offset));
+    QuantileSketch s;
+    s.k_ = std::max<std::size_t>(take_u64(bytes, offset),
+                                 std::size_t{8});
     s.count_ = take_u64(bytes, offset);
     const auto nlevels = take_u64(bytes, offset);
+    // Each level costs at least its u64 size header, so a count beyond
+    // the remaining bytes / 8 cannot be honest.
+    if (nlevels > (bytes.size() - offset) / sizeof(std::uint64_t)) {
+      throw WireError("QuantileSketch: implausible level count");
+    }
     s.levels_.resize(nlevels);
     for (auto& lvl : s.levels_) {
       const auto n = take_u64(bytes, offset);
+      if (n > (bytes.size() - offset) / sizeof(float)) {
+        throw WireError("QuantileSketch: level overruns the buffer");
+      }
       lvl.resize(n);
-      std::memcpy(lvl.data(), bytes.data() + offset, n * sizeof(float));
+      std::memcpy(lvl.data(), bytes.data() + offset, n * sizeof(float));  // pdc-lint: allow(PDC010) -- float payload off the wire; n bounds-checked above
       offset += n * sizeof(float);
     }
+    const auto ncomp = take_u64(bytes, offset);
+    if (ncomp > (bytes.size() - offset) / sizeof(std::uint64_t)) {
+      throw WireError("QuantileSketch: compaction list overruns buffer");
+    }
+    s.compactions_.resize(ncomp);
+    for (auto& c : s.compactions_) c = take_u64(bytes, offset);
     return s;
   }
 
@@ -159,14 +182,17 @@ class QuantileSketch {
   }
 
   static void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
-    const auto* bytes = reinterpret_cast<const std::byte*>(&v);
+    const auto* bytes = reinterpret_cast<const std::byte*>(&v);  // pdc-lint: allow(PDC010) -- u64 header onto the wire, native endianness by contract
     out.insert(out.end(), bytes, bytes + sizeof(v));
   }
 
   static std::uint64_t take_u64(std::span<const std::byte> bytes,
                                 std::size_t& offset) {
     std::uint64_t v;
-    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+    if (offset > bytes.size() || bytes.size() - offset < sizeof(v)) {
+      throw WireError("QuantileSketch: truncated header read");
+    }
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));  // pdc-lint: allow(PDC010) -- u64 header off the wire; bounds-checked above
     offset += sizeof(v);
     return v;
   }

@@ -1,11 +1,57 @@
 #include "clouds/tree.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <functional>
 #include <sstream>
 
+#include "common/wire.hpp"
+
 namespace pdc::clouds {
+
+namespace {
+
+// Structural validation of a deserialized node arena.  The bytes may
+// come from a corrupt model file or checkpoint blob, so every field that
+// later feeds an array index or a tree walk is range-checked before the
+// arena is adopted.  bool/enum octets are inspected as raw bytes: a
+// flipped bit must be rejected here, not loaded through a bool lvalue.
+void validate_arena(const std::vector<TreeNode>& nodes) {
+  const auto count = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t i = 0; i < count; ++i) {
+    const TreeNode& n = nodes[static_cast<std::size_t>(i)];
+    std::uint8_t leaf_byte = 0;
+    std::uint8_t kind_byte = 0;
+    std::memcpy(&leaf_byte, &n.leaf, 1);  // pdc-lint: allow(PDC010) -- byte-level inspection of untrusted bool, deliberately not a bool load
+    std::memcpy(&kind_byte, &n.split.kind, 1);  // pdc-lint: allow(PDC010) -- byte-level inspection of untrusted enum octet
+    if (leaf_byte > 1) {
+      throw WireError("DecisionTree: node leaf flag is not a bool");
+    }
+    if (n.label < 0 || n.label >= data::kNumClasses) {
+      throw WireError("DecisionTree: node label out of class range");
+    }
+    if (leaf_byte == 1) continue;
+    if (kind_byte > 1) {
+      throw WireError("DecisionTree: split kind out of range");
+    }
+    const int limit = n.split.kind == Split::Kind::kNumeric
+                          ? data::kNumNumeric
+                          : data::kNumCategorical;
+    if (n.split.attr < 0 || n.split.attr >= limit) {
+      throw WireError("DecisionTree: split attribute out of range");
+    }
+    // Children always live later in the arena (grow/graft append), so
+    // strictly increasing indices double as a termination proof for
+    // every walk.
+    if (n.left <= i || n.left >= count || n.right <= i ||
+        n.right >= count) {
+      throw WireError("DecisionTree: child index out of range");
+    }
+  }
+}
+
+}  // namespace
 
 DecisionTree::DecisionTree(const data::ClassCounts& root_counts) {
   TreeNode root;
@@ -114,7 +160,11 @@ std::size_t DecisionTree::live_count() const {
   return n;
 }
 
+// pdc: nonwire(bulk decoder: adopts the serialized arena wholesale after
+//              structural validation; per-field reads live in
+//              validate_arena, not in the codec itself)
 DecisionTree DecisionTree::deserialize(std::vector<TreeNode> nodes) {
+  validate_arena(nodes);
   DecisionTree t;
   if (!nodes.empty()) t.nodes_ = std::move(nodes);
   return t;

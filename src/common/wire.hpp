@@ -1,0 +1,23 @@
+#pragma once
+
+// Typed error for malformed, truncated, or out-of-range wire bytes.
+//
+// Every decoder that consumes untrusted input (checkpoint blobs, model
+// files, vote payloads) throws WireError instead of reading past the end
+// of its buffer or trusting an unvalidated count.  It derives from
+// std::runtime_error so existing catch sites and the CLI exit-code
+// contract (a failed load reports and exits non-zero, never crashes)
+// are unchanged; callers that want to distinguish corrupt input from
+// other failures catch WireError first.
+
+#include <stdexcept>
+#include <string>
+
+namespace pdc {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace pdc

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/wire.hpp"
 #include "dc/lpt.hpp"
 #include "dc/problem.hpp"
 #include "fault/checkpoint.hpp"
@@ -521,17 +522,17 @@ class DcDriver {
     static_assert(std::is_trivially_copyable_v<V>);
     const auto at = out.size();
     out.resize(at + sizeof(V));
-    std::memcpy(out.data() + at, &v, sizeof(V));
+    std::memcpy(out.data() + at, &v, sizeof(V));  // pdc-lint: allow(PDC010) -- trivially-copyable value onto the checkpoint wire
   }
 
   template <class V>
   static V take_raw(std::span<const std::byte> in, std::size_t& at) {
     static_assert(std::is_trivially_copyable_v<V>);
-    if (in.size() - at < sizeof(V)) {
-      throw std::runtime_error("DcDriver: truncated checkpoint state");
+    if (at > in.size() || in.size() - at < sizeof(V)) {
+      throw WireError("DcDriver: truncated checkpoint state");
     }
     V v;
-    std::memcpy(&v, in.data() + at, sizeof(V));
+    std::memcpy(&v, in.data() + at, sizeof(V));  // pdc-lint: allow(PDC010) -- trivially-copyable value off the wire; bounds-checked above
     at += sizeof(V);
     return v;
   }
@@ -558,7 +559,7 @@ class DcDriver {
       append_raw(state, static_cast<std::uint64_t>(p.file.size()));
       const auto at = state.size();
       state.resize(at + p.file.size());
-      std::memcpy(state.data() + at, p.file.data(), p.file.size());
+      std::memcpy(state.data() + at, p.file.data(), p.file.size());  // pdc-lint: allow(PDC010) -- file-name bytes onto the wire, length framed above
       blobs.push_back({"task_" + std::to_string(idx++),
                        disk_->read_file<std::byte>(p.file)});
     };
@@ -604,15 +605,22 @@ class DcDriver {
     report_ = take_raw<DcReport>(state, at);
     const auto n_queue = take_raw<std::uint64_t>(state, at);
     const auto n_small = take_raw<std::uint64_t>(state, at);
+    // Every pending entry costs at least a Task plus a u64 name length on
+    // the wire; counts the remaining bytes cannot hold are corrupt.
+    const std::size_t entry_floor = sizeof(Task) + sizeof(std::uint64_t);
+    if (n_queue > (state.size() - at) / entry_floor ||
+        n_small > (state.size() - at) / entry_floor) {
+      throw WireError("DcDriver: pending count overruns checkpoint state");
+    }
     std::size_t idx = 0;
     auto take_entry = [&]() {
       Pending p;
       p.task = take_raw<Task>(state, at);
       const auto len = take_raw<std::uint64_t>(state, at);
       if (state.size() - at < len) {
-        throw std::runtime_error("DcDriver: truncated checkpoint state");
+        throw WireError("DcDriver: truncated checkpoint state");
       }
-      p.file.assign(reinterpret_cast<const char*>(state.data() + at),
+      p.file.assign(reinterpret_cast<const char*>(state.data() + at),  // pdc-lint: allow(PDC010) -- file-name bytes off the wire; len bounds-checked above
                     static_cast<std::size_t>(len));
       at += len;
       const auto content =
@@ -653,11 +661,19 @@ class DcDriver {
 
   static std::vector<std::vector<std::byte>> unframe_blobs(
       const std::vector<std::byte>& frame, std::size_t count) {
+    if (frame.size() < count * sizeof(std::uint64_t)) {
+      throw WireError("DcDriver: frame too short for its size header");
+    }
     std::vector<std::vector<std::byte>> out(count);
     const auto sizes = mp::from_bytes<std::uint64_t>(std::span(
         frame.data(), count * sizeof(std::uint64_t)));
     std::size_t off = count * sizeof(std::uint64_t);
     for (std::size_t i = 0; i < count; ++i) {
+      // Each framed size must fit in what is left of the payload before it
+      // drives the copy below.
+      if (sizes[i] > frame.size() - off) {
+        throw WireError("DcDriver: framed blob overruns the payload");
+      }
       out[i].assign(frame.begin() + static_cast<std::ptrdiff_t>(off),
                     frame.begin() +
                         static_cast<std::ptrdiff_t>(off + sizes[i]));

@@ -16,13 +16,13 @@ constexpr char kMagic[8] = {'p', 'd', 'c', 'C', 'k', 'p', 't', '1'};
 void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
   const auto at = out.size();
   out.resize(at + sizeof(v));
-  std::memcpy(out.data() + at, &v, sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));  // pdc-lint: allow(PDC010) -- u64 header onto the manifest wire
 }
 
 bool get_u64(std::span<const std::byte> in, std::size_t& offset,
              std::uint64_t& v) {
-  if (in.size() - offset < sizeof(v)) return false;
-  std::memcpy(&v, in.data() + offset, sizeof(v));
+  if (offset > in.size() || in.size() - offset < sizeof(v)) return false;
+  std::memcpy(&v, in.data() + offset, sizeof(v));  // pdc-lint: allow(PDC010) -- u64 header off the manifest wire; bounds-checked above
   offset += sizeof(v);
   return true;
 }
@@ -61,8 +61,8 @@ void CheckpointStore::write(std::uint64_t version,
 
   std::vector<std::byte> manifest;
   manifest.insert(manifest.end(),
-                  reinterpret_cast<const std::byte*>(kMagic),
-                  reinterpret_cast<const std::byte*>(kMagic) + sizeof(kMagic));
+                  reinterpret_cast<const std::byte*>(kMagic),  // pdc-lint: allow(PDC010) -- magic literal onto the wire
+                  reinterpret_cast<const std::byte*>(kMagic) + sizeof(kMagic));  // pdc-lint: allow(PDC010) -- magic literal onto the wire
   put_u64(manifest, version);
   put_u64(manifest, blobs.size());
   for (const auto& blob : blobs) {
@@ -70,7 +70,7 @@ void CheckpointStore::write(std::uint64_t version,
     put_u64(manifest, blob.name.size());
     const auto at = manifest.size();
     manifest.resize(at + blob.name.size());
-    std::memcpy(manifest.data() + at, blob.name.data(), blob.name.size());
+    std::memcpy(manifest.data() + at, blob.name.data(), blob.name.size());  // pdc-lint: allow(PDC010) -- blob name bytes onto the wire
     put_u64(manifest, blob.bytes.size());
     put_u64(manifest, fnv1a64(blob.bytes));
   }
@@ -106,6 +106,11 @@ CheckpointStore::load_manifest(std::uint64_t version) {
     return std::nullopt;
   }
   if (!get_u64(raw, at, count)) return std::nullopt;
+  // Every entry costs at least three u64s on the wire, so a count beyond
+  // the remaining bytes / 24 is corrupt — reject it before reserving.
+  if (count > (raw.size() - at) / (3 * sizeof(std::uint64_t))) {
+    return std::nullopt;
+  }
   std::vector<ManifestEntry> entries;
   entries.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -114,7 +119,7 @@ CheckpointStore::load_manifest(std::uint64_t version) {
       return std::nullopt;
     }
     ManifestEntry e;
-    e.name.assign(reinterpret_cast<const char*>(raw.data() + at),
+    e.name.assign(reinterpret_cast<const char*>(raw.data() + at),  // pdc-lint: allow(PDC010) -- blob name bytes off the wire; name_len bounds-checked above
                   static_cast<std::size_t>(name_len));
     at += name_len;
     if (!get_u64(raw, at, e.bytes) || !get_u64(raw, at, e.checksum)) {

@@ -16,7 +16,7 @@ std::string_view basename_of(std::string_view path) {
 
 void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
   const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
-  std::memcpy(dst, src.data(), n);
+  std::memcpy(dst, src.data(), n);  // pdc-lint: allow(PDC010) -- site-name copy into a fixed diagnostic buffer, not wire bytes
   dst[n] = '\0';
 }
 

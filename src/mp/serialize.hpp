@@ -3,12 +3,13 @@
 // Byte (de)serialization for trivially-copyable value types moved through
 // the message-passing layer.
 
-#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <span>
 #include <type_traits>
 #include <vector>
+
+#include "common/wire.hpp"
 
 namespace pdc::mp {
 
@@ -29,7 +30,9 @@ std::vector<std::byte> to_bytes(const T& value) {
 
 template <Wireable T>
 std::vector<T> from_bytes(std::span<const std::byte> bytes) {
-  assert(bytes.size() % sizeof(T) == 0);
+  if (bytes.size() % sizeof(T) != 0) {
+    throw WireError("mp: blob length is not a multiple of the element size");
+  }
   std::vector<T> out(bytes.size() / sizeof(T));
   if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
   return out;
@@ -37,7 +40,9 @@ std::vector<T> from_bytes(std::span<const std::byte> bytes) {
 
 template <Wireable T>
 T value_from_bytes(std::span<const std::byte> bytes) {
-  assert(bytes.size() == sizeof(T));
+  if (bytes.size() != sizeof(T)) {
+    throw WireError("mp: value blob length mismatch");
+  }
   T out;
   std::memcpy(&out, bytes.data(), sizeof(T));
   return out;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/wire.hpp"
 #include "pclouds/alive.hpp"
 #include "pclouds/combiners.hpp"
 #include "pclouds/stats_codec.hpp"
@@ -56,7 +57,7 @@ std::vector<std::byte> CloudsProblem::encode_sketch_blob(
     const TaskCtx& ctx) const {
   // [ClassCounts][sketch * kNumNumeric]
   std::vector<std::byte> out =
-      mp::to_bytes<data::ClassCounts>(ctx.local.counts);
+      mp::to_bytes<data::ClassCounts>(ctx.local.counts);  // pdc: nonwire(local is the stats holder; only counts travels, landing in SketchBlob::counts)
   for (const auto& s : ctx.sketches) {
     const auto bytes = s.serialize();
     out.insert(out.end(), bytes.begin(), bytes.end());
@@ -73,6 +74,11 @@ struct SketchBlob {
 
 SketchBlob decode_sketch_blob(std::span<const std::byte> blob) {
   SketchBlob out;
+  if (blob.size() < sizeof(data::ClassCounts)) {
+    throw WireError("pclouds: truncated sketch blob");
+  }
+  // pdc: nonwire(counts mirrors encode's ctx.local.counts; the decode side
+  //              has no NodeStats to land it in, only this holder struct)
   out.counts = mp::value_from_bytes<data::ClassCounts>(
       blob.subspan(0, sizeof(data::ClassCounts)));
   std::size_t offset = sizeof(data::ClassCounts);
@@ -427,17 +433,17 @@ void put_raw(std::vector<std::byte>& out, const V& v) {
   static_assert(std::is_trivially_copyable_v<V>);
   const auto at = out.size();
   out.resize(at + sizeof(V));
-  std::memcpy(out.data() + at, &v, sizeof(V));
+  std::memcpy(out.data() + at, &v, sizeof(V));  // pdc-lint: allow(PDC010) -- trivially-copyable value onto the checkpoint wire
 }
 
 template <class V>
 V get_raw(std::span<const std::byte> in, std::size_t& at) {
   static_assert(std::is_trivially_copyable_v<V>);
-  if (in.size() - at < sizeof(V)) {
-    throw std::runtime_error("pclouds: truncated checkpoint blob");
+  if (at > in.size() || in.size() - at < sizeof(V)) {
+    throw WireError("pclouds: truncated checkpoint blob");
   }
   V v;
-  std::memcpy(&v, in.data() + at, sizeof(V));
+  std::memcpy(&v, in.data() + at, sizeof(V));  // pdc-lint: allow(PDC010) -- trivially-copyable value off the wire; bounds-checked above
   at += sizeof(V);
   return v;
 }
@@ -448,7 +454,7 @@ void put_vec(std::vector<std::byte>& out, const std::vector<V>& v) {
   put_raw(out, static_cast<std::uint64_t>(v.size()));
   const auto at = out.size();
   out.resize(at + v.size() * sizeof(V));
-  if (!v.empty()) std::memcpy(out.data() + at, v.data(), v.size() * sizeof(V));
+  if (!v.empty()) std::memcpy(out.data() + at, v.data(), v.size() * sizeof(V));  // pdc-lint: allow(PDC010) -- counted array onto the checkpoint wire
 }
 
 template <class V>
@@ -456,10 +462,10 @@ std::vector<V> get_vec(std::span<const std::byte> in, std::size_t& at) {
   static_assert(std::is_trivially_copyable_v<V>);
   const auto n = get_raw<std::uint64_t>(in, at);
   if ((in.size() - at) / sizeof(V) < n) {
-    throw std::runtime_error("pclouds: truncated checkpoint blob");
+    throw WireError("pclouds: truncated checkpoint blob");
   }
   std::vector<V> v(static_cast<std::size_t>(n));
-  if (n != 0) std::memcpy(v.data(), in.data() + at, v.size() * sizeof(V));
+  if (n != 0) std::memcpy(v.data(), in.data() + at, v.size() * sizeof(V));  // pdc-lint: allow(PDC010) -- counted array off the wire; n bounds-checked above
   at += v.size() * sizeof(V);
   return v;
 }
@@ -473,6 +479,8 @@ void put_stats(std::vector<std::byte>& out, const NodeStats& s) {
   }
   put_raw(out, static_cast<std::uint64_t>(s.cats.size()));
   for (const auto& c : s.cats) {
+    // pdc: nonwire(attr travels as the CountMatrix constructor argument on
+    //              the read side, not as a field assignment)
     put_raw(out, c.attr);
     put_vec(out, c.counts);
   }
@@ -482,16 +490,31 @@ NodeStats get_stats(std::span<const std::byte> in, std::size_t& at) {
   NodeStats s;
   s.counts = get_raw<data::ClassCounts>(in, at);
   const auto nh = get_raw<std::uint64_t>(in, at);
+  // Every histogram costs at least two u64 vector headers on the wire, so
+  // a count beyond the remaining bytes / 16 is corrupt: reject it before
+  // it sizes an allocation.
+  if (nh > (in.size() - at) / (2 * sizeof(std::uint64_t))) {
+    throw WireError("pclouds: histogram count overruns the checkpoint blob");
+  }
   s.hists.resize(static_cast<std::size_t>(nh));
   for (auto& h : s.hists) {
     h.bounds = get_vec<float>(in, at);
     h.freq = get_vec<data::ClassCounts>(in, at);
   }
   const auto nc = get_raw<std::uint64_t>(in, at);
+  if (nc > (in.size() - at) / (sizeof(int) + sizeof(std::uint64_t))) {
+    throw WireError("pclouds: category count overruns the checkpoint blob");
+  }
   s.cats.clear();
   s.cats.reserve(static_cast<std::size_t>(nc));
   for (std::uint64_t i = 0; i < nc; ++i) {
-    clouds::CountMatrix c(get_raw<int>(in, at));
+    const int attr = get_raw<int>(in, at);
+    // The CountMatrix constructor indexes kCatCardinality[attr]; a corrupt
+    // attribute id must be rejected before it reaches that table.
+    if (attr < 0 || attr >= data::kNumCategorical) {
+      throw WireError("pclouds: categorical attribute id out of range");
+    }
+    clouds::CountMatrix c(attr);
     c.counts = get_vec<data::ClassCounts>(in, at);
     s.cats.push_back(std::move(c));
   }
@@ -557,11 +580,11 @@ std::vector<std::byte> CloudsProblem::export_state() const {
 
 void CloudsProblem::restore_state(std::span<const std::byte> blob) {
   std::size_t at = 0;
-  const auto combiner = get_raw<std::int32_t>(blob, at);
-  const auto vote_k = get_raw<std::int32_t>(blob, at);
-  const auto hist_bits = get_raw<std::int32_t>(blob, at);
-  if (combiner != static_cast<std::int32_t>(cfg_.combiner) ||
-      vote_k != cfg_.vote_k || hist_bits != cfg_.hist_bits) {
+  const auto snap_combiner = get_raw<std::int32_t>(blob, at);
+  const auto snap_vote_k = get_raw<std::int32_t>(blob, at);
+  const auto snap_hist_bits = get_raw<std::int32_t>(blob, at);
+  if (snap_combiner != static_cast<std::int32_t>(cfg_.combiner) ||
+      snap_vote_k != cfg_.vote_k || snap_hist_bits != cfg_.hist_bits) {
     throw std::runtime_error(
         "pclouds: snapshot was taken under a different combiner "
         "configuration; resume with the matching --combiner/--vote-k/"
@@ -571,9 +594,16 @@ void CloudsProblem::restore_state(std::span<const std::byte> blob) {
 
   node_of_.clear();
   const auto n_nodes = get_raw<std::uint64_t>(blob, at);
+  // Every entry costs an int64 task id plus an int32 node index on the
+  // wire; reject a count the remaining bytes cannot possibly hold.
+  if (n_nodes > (blob.size() - at) /
+                    (sizeof(std::int64_t) + sizeof(std::int32_t))) {
+    throw WireError("pclouds: node map overruns the checkpoint blob");
+  }
   for (std::uint64_t i = 0; i < n_nodes; ++i) {
     const auto id = get_raw<std::int64_t>(blob, at);
-    node_of_[id] = get_raw<std::int32_t>(blob, at);
+    const auto node = get_raw<std::int32_t>(blob, at);
+    node_of_.emplace(id, node);
   }
 
   ctxs_.clear();
@@ -588,6 +618,11 @@ void CloudsProblem::restore_state(std::span<const std::byte> blob) {
     ctx.sample = get_vec<Record>(blob, at);
     ctx.local = get_stats(blob, at);
     const auto n_sketches = get_raw<std::uint64_t>(blob, at);
+    // A serialized sketch is at least four u64 headers; bound the count
+    // before it sizes the reserve below.
+    if (n_sketches > (blob.size() - at) / (4 * sizeof(std::uint64_t))) {
+      throw WireError("pclouds: sketch count overruns the checkpoint blob");
+    }
     ctx.sketches.reserve(static_cast<std::size_t>(n_sketches));
     for (std::uint64_t s = 0; s < n_sketches; ++s) {
       ctx.sketches.push_back(clouds::QuantileSketch::deserialize(blob, at));
@@ -597,6 +632,10 @@ void CloudsProblem::restore_state(std::span<const std::byte> blob) {
 
   small_subtrees_.clear();
   const auto n_small = get_raw<std::uint64_t>(blob, at);
+  // Every entry costs an int64 id plus a u64 vector header.
+  if (n_small > (blob.size() - at) / (2 * sizeof(std::uint64_t))) {
+    throw WireError("pclouds: subtree count overruns the checkpoint blob");
+  }
   for (std::uint64_t i = 0; i < n_small; ++i) {
     const auto id = get_raw<std::int64_t>(blob, at);
     small_subtrees_.emplace_back(id, get_vec<clouds::TreeNode>(blob, at));
@@ -604,7 +643,7 @@ void CloudsProblem::restore_state(std::span<const std::byte> blob) {
 
   diag_ = get_raw<Diag>(blob, at);
   if (at != blob.size()) {
-    throw std::runtime_error("pclouds: trailing bytes in checkpoint blob");
+    throw WireError("pclouds: trailing bytes in checkpoint blob");
   }
 }
 

@@ -112,10 +112,13 @@ class CloudsProblem final : public dc::DcProblem<data::Record> {
   std::vector<std::byte> encode_sketch_blob(const TaskCtx& ctx) const;
 
   PcloudsConfig cfg_;
-  std::uint64_t root_records_;
-  std::vector<data::Record> root_sample_;
-  clouds::CostHooks hooks_;
-  io::LocalDisk* disk_;
+  // Constructor-provided environment, re-supplied on resume rather than
+  // checkpointed: the run harness rebuilds the problem with the same data
+  // set and hooks, so export_state()/restore_state() never touch these.
+  std::uint64_t root_records_;   // pdc: nonwire(constructor argument, identical across resumes)
+  std::vector<data::Record> root_sample_;  // pdc: nonwire(re-replicated from the data set on resume)
+  clouds::CostHooks hooks_;      // pdc: nonwire(instrumentation, not model state)
+  io::LocalDisk* disk_;          // pdc: nonwire(process-local handle, meaningless on the wire)
 
   clouds::DecisionTree tree_;
   std::unordered_map<std::int64_t, TaskCtx> ctxs_;

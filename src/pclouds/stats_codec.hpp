@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "clouds/splitters.hpp"
+#include "common/wire.hpp"
 #include "mp/serialize.hpp"
 
 namespace pdc::pclouds {
@@ -44,6 +45,19 @@ inline std::vector<std::byte> encode_stats(const clouds::NodeStats& stats) {
 inline void decode_stats(std::span<const std::byte> blob,
                          clouds::NodeStats& stats) {
   const auto flat = mp::from_bytes<std::int64_t>(blob);
+  // The layout is fixed by `stats`' boundary structure, so the element
+  // count is known exactly; a shorter (or longer) blob is corrupt and
+  // must not drive the fills below off the end of `flat`.
+  std::size_t need = static_cast<std::size_t>(data::kNumClasses);
+  for (const auto& h : stats.hists) {
+    need += h.freq.size() * static_cast<std::size_t>(data::kNumClasses);
+  }
+  for (const auto& m : stats.cats) {
+    need += m.counts.size() * static_cast<std::size_t>(data::kNumClasses);
+  }
+  if (flat.size() != need) {
+    throw WireError("pclouds: stats blob length mismatch");
+  }
   std::size_t i = 0;
   for (auto& h : stats.hists) {
     for (auto& f : h.freq) {
@@ -69,6 +83,9 @@ inline std::vector<std::byte> combine_stats_blobs(
   if (b.empty()) return a;
   auto fa = mp::from_bytes<std::int64_t>(a);
   const auto fb = mp::from_bytes<std::int64_t>(b);
+  if (fa.size() != fb.size()) {
+    throw WireError("pclouds: stats blob length mismatch in combine");
+  }
   for (std::size_t i = 0; i < fa.size(); ++i) fa[i] += fb[i];
   return mp::to_bytes(std::span<const std::int64_t>(fa));
 }
@@ -110,7 +127,7 @@ inline std::uint64_t get_varint(std::span<const std::byte> in,
   int shift = 0;
   while (true) {
     if (at >= in.size() || shift > 63) {
-      throw std::runtime_error("pclouds: truncated voted-stats blob");
+      throw WireError("pclouds: truncated voted-stats blob");
     }
     const auto b = static_cast<std::uint64_t>(in[at++]);
     v |= (b & 0x7f) << shift;
@@ -181,6 +198,9 @@ inline std::vector<std::byte> encode_voted_stats(
 /// attributes in `candidates` order, then kNumClasses node counts).
 inline std::vector<std::int64_t> decode_voted_stats(
     std::span<const std::byte> blob, std::size_t expected_len) {
+  // pdc: nonwire(bulk/stream decoder: yields the flat delta-decoded count
+  //              stream; the per-field structure lives in the caller's
+  //              voted_attr_len layout, not in this codec)
   std::vector<std::int64_t> flat;
   flat.reserve(expected_len);
   std::size_t at = 0;
@@ -190,7 +210,7 @@ inline std::vector<std::int64_t> decode_voted_stats(
     flat.push_back(prev);
   }
   if (at != blob.size()) {
-    throw std::runtime_error("pclouds: trailing bytes in voted-stats blob");
+    throw WireError("pclouds: trailing bytes in voted-stats blob");
   }
   return flat;
 }

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/wire.hpp"
+
 namespace pdc::serve {
 
 namespace {
@@ -52,7 +54,7 @@ std::uint64_t read_u64(const std::uint8_t* p) {
 }
 
 [[noreturn]] void reject(const std::string& why) {
-  throw std::runtime_error("CompiledTree: " + why);
+  throw WireError("CompiledTree: " + why);
 }
 
 }  // namespace
@@ -185,7 +187,7 @@ void CompiledTree::predict_block(const RecordBlock& block,
   std::uint64_t state_a[kLanes];
   std::uint64_t state_b[kLanes];
   std::int8_t labels[kLanes];
-  const char* node_bytes = reinterpret_cast<const char*>(dense_.data());
+  const char* node_bytes = reinterpret_cast<const char*>(dense_.data());  // pdc-lint: allow(PDC010) -- in-memory descent mirror, not wire bytes
 
   for (std::size_t base = 0; base < n; base += kLanes) {
     const std::size_t lanes = std::min(kLanes, n - base);
@@ -213,7 +215,7 @@ void CompiledTree::predict_block(const RecordBlock& block,
         const std::uint32_t i = static_cast<std::uint32_t>(st);
         const std::uint32_t l = static_cast<std::uint32_t>(st >> 32);
         std::uint64_t w;
-        std::memcpy(&w, node_bytes + std::size_t{i} * sizeof(DenseNode), 8);
+        std::memcpy(&w, node_bytes + std::size_t{i} * sizeof(DenseNode), 8);  // pdc-lint: allow(PDC010) -- packed node word load from the validated mirror
         const std::uint32_t m = static_cast<std::uint32_t>(w);
         const std::uint32_t payload = static_cast<std::uint32_t>(w >> 32);
         const std::uint32_t kind = (m >> 1) & 1u;
@@ -236,7 +238,7 @@ void CompiledTree::predict_block(const RecordBlock& block,
       active = kept;
       std::swap(cur, nxt);
     }
-    std::memcpy(&out[base], labels, lanes);
+    std::memcpy(&out[base], labels, lanes);  // pdc-lint: allow(PDC010) -- chunk-local label buffer flush, not wire bytes
   }
 }
 
@@ -304,6 +306,11 @@ CompiledTree CompiledTree::from_bytes(std::span<const std::uint8_t> bytes) {
   // The packed descent mirror keeps first-child in 27 bits (see
   // CompiledTree::DenseNode), which bounds acceptable models.
   if (count >= (std::uint64_t{1} << 27)) reject("node count out of range");
+  // Depth and leaf count are re-derived and cross-checked structurally in
+  // validate_and_index(), but reject absurd headers before they are
+  // narrowed into the signed/int32 members below.
+  if (depth >= (std::uint32_t{1} << 27)) reject("depth out of range");
+  if (leaves > count) reject("leaf count exceeds node count");
   if (bytes.size() != kHeaderBytes + kNodeBytes * count) {
     reject(bytes.size() < kHeaderBytes + kNodeBytes * count
                ? "truncated node array"

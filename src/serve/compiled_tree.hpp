@@ -169,7 +169,7 @@ class CompiledTree {
   void validate_and_index();
 
   std::vector<FlatNode> nodes_;
-  std::vector<DenseNode> dense_;
+  std::vector<DenseNode> dense_;  // pdc: nonwire(derived descent mirror, rebuilt by build_dense() on both sides)
   std::int32_t depth_ = 0;
   std::size_t leaves_ = 1;
 };

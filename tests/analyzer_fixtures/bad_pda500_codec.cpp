@@ -1,0 +1,64 @@
+// Codec-symmetry (PDA500) negative fixture.
+//
+// Two codec shapes, both deliberately asymmetric:
+//  - A class-scoped serialize/deserialize pair whose member coverage
+//    disagrees: one member is written but never read back, one is read
+//    but never written, one appears on neither side, and one is off the
+//    wire by design (annotated, so it must NOT fire).
+//  - A file-scoped encode_/decode_ prefix pair whose dotted field sets
+//    drift (a field written but dropped by the decoder) and whose shared
+//    fields are consumed in a different order than they were produced.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Telemetry {
+ public:
+  std::vector<std::uint64_t> serialize() const {
+    std::vector<std::uint64_t> out;
+    out.push_back(epoch_);
+    out.push_back(samples_);
+    out.push_back(dropped_);
+    return out;
+  }
+
+  void deserialize(const std::vector<std::uint64_t>& in) {
+    epoch_ = in.at(0);
+    samples_ = in.at(1);
+    high_water_ = in.at(2);
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;       // round-trips: written and read back
+  std::uint64_t samples_ = 0;     // round-trips: written and read back
+  std::uint64_t dropped_ = 0;     // expect-PDA500 (written, never read)
+  std::uint64_t high_water_ = 0;  // expect-PDA500 (read, never written)
+  std::uint64_t forgotten_ = 0;   // expect-PDA500 (on neither side)
+  std::uint64_t scratch_ = 0;     // pdc: nonwire(recomputed from the levels after load, never travels)
+};
+
+struct Packet {
+  int seq = 0;
+  int ack = 0;
+  int window = 0;
+  int debug_tag = 0;
+};
+
+inline void encode_packet(std::vector<int>& out, const Packet& p) {
+  out.push_back(p.seq);
+  out.push_back(p.ack);
+  out.push_back(p.window);
+  out.push_back(p.debug_tag);  // expect-PDA500 (decoder drops it)
+}
+
+inline Packet decode_packet(const std::vector<int>& in) {  // expect-PDA500 (order drift)
+  Packet p;
+  p.seq = in.at(0);
+  p.window = in.at(1);
+  p.ack = in.at(2);
+  return p;
+}
+
+}  // namespace fixture

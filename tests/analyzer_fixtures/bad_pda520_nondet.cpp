@@ -1,0 +1,88 @@
+// Nondeterminism-escapes-to-wire (PDA520) negative fixture.
+//
+// Serialize paths that leak run-dependent bytes into the blob: a pointer
+// value written as an id, hash-order iteration over an unordered map,
+// an address passed where the helper expects a value, and a whole-struct
+// memcpy of a padded type without a memset scrub.  The *_scrubbed and
+// *_sorted variants are the controls and must stay quiet.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct FileHeader {
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;   // 3 padding bytes follow before count
+  std::uint64_t count = 0;
+};
+
+inline void put_word(std::vector<std::uint64_t>& out, std::uint64_t v) {
+  out.push_back(v);
+}
+
+template <class V>
+void put_value(std::vector<std::uint64_t>& out, V v) {
+  out.push_back(static_cast<std::uint64_t>(v));
+}
+
+class Session {
+ public:
+  std::vector<std::uint64_t> serialize() const {
+    std::vector<std::uint64_t> out;
+    put_word(out, reinterpret_cast<std::uintptr_t>(this));  // expect-PDA520 (pointer on the wire)
+    put_value(out, &seq_);  // expect-PDA520 (address as a value)
+    for (const auto& [id, hits] : routes_) {  // expect-PDA520 (hash order)
+      put_word(out, id);
+      put_word(out, hits);
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> routes_;
+};
+
+inline std::vector<char> encode_header(std::uint64_t count) {
+  FileHeader h;
+  h.magic = 0x70646346;
+  h.count = count;
+  std::vector<char> out(sizeof(FileHeader));
+  std::memcpy(out.data(), &h, sizeof(FileHeader));  // expect-PDA520 (padding bytes)
+  return out;
+}
+
+// Control: the struct image is zeroed before the fields are set, so the
+// padding bytes on the wire are a constant.
+inline std::vector<char> encode_header_scrubbed(std::uint64_t count) {
+  FileHeader h;
+  std::memset(&h, 0, sizeof(FileHeader));
+  h.magic = 0x70646346;
+  h.count = count;
+  std::vector<char> out(sizeof(FileHeader));
+  std::memcpy(out.data(), &h, sizeof(FileHeader));
+  return out;
+}
+
+// Control: the keys are materialized and sorted before the walk, so the
+// wire order is a pure function of the map's contents.
+inline std::vector<std::uint64_t> encode_routes_sorted(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& routes) {
+  std::vector<std::uint64_t> sorted_keys;
+  for (const auto& [id, hits] : routes) {
+    sorted_keys.push_back(id);
+  }
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  std::vector<std::uint64_t> out;
+  for (const auto id : sorted_keys) {
+    out.push_back(id);
+    out.push_back(routes.at(id));
+  }
+  return out;
+}
+
+}  // namespace fixture

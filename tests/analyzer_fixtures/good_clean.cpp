@@ -106,3 +106,76 @@ class OrderedPair {
   pdc::Mutex first_mu_;
   pdc::Mutex second_mu_;
 };
+
+// PDA500 near-miss: writer and reader cover exactly the same members,
+// and the derived cache is annotated off the wire.
+#include <cstdint>
+
+class CleanCounters {
+ public:
+  std::vector<std::uint64_t> serialize() const {
+    std::vector<std::uint64_t> out;
+    out.push_back(lo_);
+    out.push_back(hi_);
+    return out;
+  }
+
+  void deserialize(const std::vector<std::uint64_t>& in) {
+    lo_ = in.at(0);
+    hi_ = in.at(1);
+    rebuild();
+  }
+
+ private:
+  void rebuild();
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+  std::uint64_t cache_ = 0;  // pdc: nonwire(derived from lo_/hi_ by rebuild() after load)
+};
+
+// PDA510 near-miss: the wire count is bounded against the buffer and
+// rejected before it sizes anything.
+inline std::uint64_t take_count(const std::vector<unsigned char>& in,
+                                std::size_t& at) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8 && at < in.size(); ++b) {
+    v |= static_cast<std::uint64_t>(in.at(at++)) << (8 * b);
+  }
+  return v;
+}
+
+inline std::vector<int> decode_frame(const std::vector<unsigned char>& in) {
+  std::size_t at = 0;
+  const std::uint64_t n = take_count(in, at);
+  if (n > in.size()) {
+    return {};
+  }
+  std::vector<int> out(n);
+  return out;
+}
+
+// PDA520 near-miss: the writer materializes and sorts the keys before
+// walking the unordered map, so the wire order is a pure function of
+// the contents.
+#include <algorithm>
+#include <unordered_map>
+
+class CleanRoutes {
+ public:
+  std::vector<std::uint64_t> serialize() const {
+    std::vector<std::uint64_t> sorted_keys;
+    for (const auto& [id, hits] : routes_) {
+      sorted_keys.push_back(id);
+    }
+    std::sort(sorted_keys.begin(), sorted_keys.end());
+    std::vector<std::uint64_t> out;
+    for (const auto id : sorted_keys) {
+      out.push_back(id);
+      out.push_back(routes_.at(id));
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> routes_;
+};

@@ -1,0 +1,35 @@
+// pdc-lint fixture: every flagged line below must trip PDC010.  Raw
+// reinterpret_cast / memcpy on byte buffers outside the designated codec
+// helpers (mp/serialize.hpp) hand-roll wire formats that the
+// codec-symmetry analysis cannot pair; route the bytes through the
+// helpers, or carry an allow(PDC010) with a reason so the cast stays on
+// the greppable inventory.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+std::vector<unsigned char> fixture_encode(std::uint64_t v) {
+  std::vector<unsigned char> out(sizeof(v));
+  std::memcpy(out.data(), &v, sizeof(v));                     // PDC010
+  return out;
+}
+
+std::uint64_t fixture_decode(const std::vector<unsigned char>& in) {
+  return *reinterpret_cast<const std::uint64_t*>(in.data());  // PDC010
+}
+
+const char* fixture_view(const std::vector<unsigned char>& in) {
+  return reinterpret_cast<const char*>(in.data());            // PDC010
+}
+
+void fixture_bare_memcpy(char* dst, const char* src, std::size_t n) {
+  memcpy(dst, src, n);                                        // PDC010
+}
+
+// A reasoned allow is the sanctioned escape hatch: it is suppressed here
+// and shows up in the repo-wide allow(PDC010) inventory instead.
+std::uint64_t fixture_allowed(const unsigned char* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));  // pdc-lint: allow(PDC010) -- fixture: bounds checked by the caller
+  return v;
+}
